@@ -1,0 +1,129 @@
+// Package repro's root benchmarks regenerate every paper artifact (one
+// bench per experiment; see DESIGN.md's index). The benchmarks measure the
+// harness's wall cost; the scientific results are the simulated-time tables
+// each harness prints via cmd/experiments and records in EXPERIMENTS.md.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// BenchmarkE1_EndToEndPipeline regenerates E1 (Fig. 1 / §IV walkthrough).
+func BenchmarkE1_EndToEndPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E1EndToEnd(int64(i+1), 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Consistent || !res.FailoverIntact {
+			b.Fatalf("pipeline inconsistent: %+v", res)
+		}
+	}
+}
+
+// BenchmarkE2_OperatorAutomation regenerates E2 (Figs. 3-4).
+func BenchmarkE2_OperatorAutomation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E2Operator(int64(i+1), []int{2, 8, 32}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3_SnapshotGroup regenerates E3 (Fig. 5).
+func BenchmarkE3_SnapshotGroup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E3SnapshotGroup(int64(i+1), []int{2, 8}, []float64{0, 0.5, 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4_AnalyticsOnSnapshot regenerates E4 (Fig. 6).
+func BenchmarkE4_AnalyticsOnSnapshot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E4Analytics(int64(i+1), 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5_SlowdownADCvsSDC regenerates E5 (§I slowdown claim).
+func BenchmarkE5_SlowdownADCvsSDC(b *testing.B) {
+	rtts := []time.Duration{2 * time.Millisecond, 20 * time.Millisecond, 100 * time.Millisecond}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E5Slowdown(int64(i+1), rtts, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6_CollapseNoCGvsCG regenerates E6 (§I collapse claim).
+func BenchmarkE6_CollapseNoCGvsCG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cg, err := experiments.E6Collapse(int64(i*999+1), 6, 300, experiments.ModeADC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cg.Collapsed != 0 {
+			b.Fatalf("consistency group collapsed: %+v", cg)
+		}
+		if _, err := experiments.E6Collapse(int64(i*999+1), 6, 300, experiments.ModeADCNoCG); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7_RPOvsLink regenerates E7 (RPO exposure).
+func BenchmarkE7_RPOvsLink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.E7RPO(int64(i+1),
+			[]time.Duration{10 * time.Millisecond},
+			[]float64{2e5, 1e9}, 300*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8_RecoveryDowntime regenerates E8 (downtime claim).
+func BenchmarkE8_RecoveryDowntime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E8Recovery(int64(i+1), []int{20, 100, 200}, experiments.ModeADC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10_FailbackResync regenerates E10 (delta resync after outage).
+func BenchmarkE10_FailbackResync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E10Failback(int64(i+1), []int{10, 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if !r.ReverseOK {
+				b.Fatalf("reverse replication broken: %+v", r)
+			}
+		}
+	}
+}
+
+// BenchmarkE9_Ablations regenerates E9 (design-choice ablations).
+func BenchmarkE9_Ablations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E9BatchSweep(int64(i+1), []int{1, 16, 256}, 100); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.E9CGScale(int64(i+1), []int{2, 16}, 20); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.E9SkewSweep(int64(i+1), []float64{-1, 1.5}, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

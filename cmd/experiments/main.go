@@ -1,0 +1,129 @@
+// Command experiments regenerates every table/figure of the reproduction
+// (E1-E9; see DESIGN.md for the index and EXPERIMENTS.md for the recorded
+// results). Select a subset with -run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment IDs (e1,e2,...,e9) or 'all'")
+	seed := flag.Int64("seed", 1, "base simulation seed")
+	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(strings.ToLower(*run), ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+	sel := func(id string) bool { return all || want[id] }
+
+	orders := 200
+	trials := 25
+	if *quick {
+		orders, trials = 60, 8
+	}
+
+	if sel("e1") {
+		res, err := experiments.E1EndToEnd(*seed, orders)
+		if err != nil {
+			log.Fatalf("E1: %v", err)
+		}
+		fmt.Println(experiments.E1Table(res))
+	}
+	if sel("e2") {
+		res, err := experiments.E2Operator(*seed, []int{2, 8, 32, 128})
+		if err != nil {
+			log.Fatalf("E2: %v", err)
+		}
+		fmt.Println(experiments.E2Table(res))
+	}
+	if sel("e3") {
+		res, err := experiments.E3SnapshotGroup(*seed, []int{2, 4, 8}, []float64{0, 0.1, 0.5, 1.0})
+		if err != nil {
+			log.Fatalf("E3: %v", err)
+		}
+		fmt.Println(experiments.E3Table(res))
+	}
+	if sel("e4") {
+		res, err := experiments.E4Analytics(*seed, orders)
+		if err != nil {
+			log.Fatalf("E4: %v", err)
+		}
+		fmt.Println(experiments.E4Table(res))
+	}
+	if sel("e5") {
+		rtts := []time.Duration{
+			200 * time.Microsecond, time.Millisecond, 2 * time.Millisecond,
+			10 * time.Millisecond, 20 * time.Millisecond, 100 * time.Millisecond,
+		}
+		res, err := experiments.E5Slowdown(*seed, rtts, orders)
+		if err != nil {
+			log.Fatalf("E5: %v", err)
+		}
+		fmt.Println(experiments.E5Table(res))
+	}
+	if sel("e6") {
+		cg, err := experiments.E6Collapse(*seed*1000, trials, 300, experiments.ModeADC)
+		if err != nil {
+			log.Fatalf("E6: %v", err)
+		}
+		noCG, err := experiments.E6Collapse(*seed*1000, trials, 300, experiments.ModeADCNoCG)
+		if err != nil {
+			log.Fatalf("E6: %v", err)
+		}
+		fmt.Println(experiments.E6Table([]experiments.CollapseResult{cg, noCG}))
+	}
+	if sel("e7") {
+		rtts := []time.Duration{2 * time.Millisecond, 10 * time.Millisecond, 40 * time.Millisecond}
+		bws := []float64{2e5, 1e6, 1e7, 1e9}
+		res, err := experiments.E7RPO(*seed, rtts, bws, 400*time.Millisecond)
+		if err != nil {
+			log.Fatalf("E7: %v", err)
+		}
+		fmt.Println(experiments.E7Table(res))
+	}
+	if sel("e8") {
+		cg, err := experiments.E8Recovery(*seed, []int{20, 50, 100, 200, 400}, experiments.ModeADC)
+		if err != nil {
+			log.Fatalf("E8: %v", err)
+		}
+		noCG, err := experiments.E8Recovery(*seed, []int{200, 220, 240, 260}, experiments.ModeADCNoCG)
+		if err != nil {
+			log.Fatalf("E8: %v", err)
+		}
+		fmt.Println(experiments.E8Table(append(cg, noCG...)))
+	}
+	if sel("e10") {
+		res, err := experiments.E10Failback(*seed, []int{10, 50, 200, 800})
+		if err != nil {
+			log.Fatalf("E10: %v", err)
+		}
+		fmt.Println(experiments.E10Table(res))
+	}
+	if sel("e9") {
+		batch, err := experiments.E9BatchSweep(*seed, []int{1, 4, 16, 64, 256}, orders)
+		if err != nil {
+			log.Fatalf("E9a: %v", err)
+		}
+		fmt.Println(experiments.E9BatchTable(batch))
+		cgScale, err := experiments.E9CGScale(*seed, []int{2, 4, 8, 16, 32}, 30)
+		if err != nil {
+			log.Fatalf("E9b: %v", err)
+		}
+		fmt.Println(experiments.E9CGScaleTable(cgScale))
+		skew, err := experiments.E9SkewSweep(*seed, []float64{-1, 1.1, 1.5, 2.5}, orders)
+		if err != nil {
+			log.Fatalf("E9c: %v", err)
+		}
+		fmt.Println(experiments.E9SkewTable(skew))
+	}
+}

@@ -1,0 +1,314 @@
+// Package core assembles the complete demonstration system of §IV: a main
+// site and a backup site, each with a container platform and an external
+// storage array, joined by an inter-site link. The main site runs the
+// namespace operator and the storage/replication plugins; the backup site
+// runs the snapshot controller. On top of the sites, core implements the
+// demo's three steps as library calls:
+//
+//  1. backup configuration — tag the namespace, let the operator and the
+//     replication plugin configure ADC with a consistency group;
+//  2. snapshot development — group-snapshot the backup volumes;
+//  3. data analytics — open read-only databases on the snapshot volumes.
+//
+// Plus the step the demo motivates but cannot show on stage: failover, the
+// backup-site recovery that works because the data is consistent.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/csiplugin"
+	"repro/internal/db"
+	"repro/internal/netlink"
+	"repro/internal/operator"
+	"repro/internal/platform"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// ErrTimeout reports that a wait helper gave up.
+var ErrTimeout = errors.New("core: timed out")
+
+// StorageClassName is the class the demo's claims use.
+const StorageClassName = "vsp-replicated"
+
+// Config assembles a System. Zero values take sensible demo defaults.
+type Config struct {
+	// Seed drives the deterministic simulation.
+	Seed int64
+	// Link is the inter-site network (default 5ms propagation, 1GB/s).
+	Link netlink.Config
+	// Storage configures both arrays.
+	Storage storage.Config
+	// Replication tunes the ADC drain.
+	Replication replication.Config
+	// API configures both platforms' API servers.
+	API platform.APIConfig
+	// FeatureGates selects CSI alpha features on the backup site.
+	FeatureGates csiplugin.FeatureGates
+	// ConsistencyGroup is the operator's mode. Default true (the paper's
+	// configuration); experiment E6 sets it false.
+	ConsistencyGroup *bool
+	// DB tunes the databases opened by DeployBusinessProcess.
+	DB db.Config
+	// VolumeBlocks is the size of each provisioned volume (default 2048).
+	VolumeBlocks int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Link.Propagation == 0 {
+		c.Link.Propagation = 5 * time.Millisecond
+	}
+	if c.Link.BandwidthBps == 0 {
+		c.Link.BandwidthBps = 1e9
+	}
+	if c.ConsistencyGroup == nil {
+		t := true
+		c.ConsistencyGroup = &t
+	}
+	if c.VolumeBlocks <= 0 {
+		c.VolumeBlocks = 2048
+	}
+	return c
+}
+
+// Bool is a helper for Config.ConsistencyGroup.
+func Bool(v bool) *bool { return &v }
+
+// Site is one of the two sites: a container platform plus a storage array.
+type Site struct {
+	Name      string
+	API       *platform.APIServer
+	Array     *storage.Array
+	Snapshots *csiplugin.SnapshotController
+}
+
+// System is the full two-site demonstration system.
+type System struct {
+	Env    *sim.Env
+	Cfg    Config
+	Main   *Site
+	Backup *Site
+	Links  *netlink.Pair
+
+	Operator    *operator.Operator
+	Provisioner *csiplugin.Provisioner
+	Replication *csiplugin.ReplicationPlugin
+}
+
+// NewSystem builds and starts the demonstration system. The returned
+// system's controllers run as simulation processes; drive the system from
+// processes on sys.Env and advance time with sys.Env.Run.
+func NewSystem(cfg Config) *System {
+	cfg = cfg.withDefaults()
+	env := sim.NewEnv(cfg.Seed)
+	sys := &System{
+		Env: env,
+		Cfg: cfg,
+		Main: &Site{
+			Name:  "main",
+			API:   platform.NewAPIServer(env, cfg.API),
+			Array: storage.NewArray(env, "vsp-main", cfg.Storage),
+		},
+		Backup: &Site{
+			Name:  "backup",
+			API:   platform.NewAPIServer(env, cfg.API),
+			Array: storage.NewArray(env, "vsp-backup", cfg.Storage),
+		},
+		Links: netlink.NewPair(env, cfg.Link),
+	}
+	sys.Provisioner = csiplugin.NewProvisioner(env, sys.Main.API,
+		map[string]*storage.Array{sys.Main.Array.Name(): sys.Main.Array})
+	sys.Replication = csiplugin.NewReplicationPlugin(env, csiplugin.SitePair{
+		MainAPI:     sys.Main.API,
+		BackupAPI:   sys.Backup.API,
+		MainArray:   sys.Main.Array,
+		BackupArray: sys.Backup.Array,
+		Link:        sys.Links.Forward,
+	}, cfg.Replication)
+	sys.Operator = operator.New(env, sys.Main.API, operator.Config{ConsistencyGroup: *cfg.ConsistencyGroup})
+	sys.Main.Snapshots = csiplugin.NewSnapshotController(env, sys.Main.API, sys.Main.Array, cfg.FeatureGates)
+	sys.Backup.Snapshots = csiplugin.NewSnapshotController(env, sys.Backup.API, sys.Backup.Array, cfg.FeatureGates)
+
+	sys.Provisioner.Start()
+	sys.Replication.Start()
+	sys.Operator.Start()
+	sys.Main.Snapshots.Start()
+	sys.Backup.Snapshots.Start()
+
+	env.Process("bootstrap", func(p *sim.Proc) {
+		if err := sys.Main.API.Create(p, &platform.StorageClass{
+			Meta:        platform.Meta{Kind: platform.KindStorageClass, Name: StorageClassName},
+			Provisioner: "csi.vsp.sim",
+			ArrayName:   sys.Main.Array.Name(),
+		}); err != nil {
+			panic(fmt.Sprintf("core: bootstrap: %v", err))
+		}
+	})
+	return sys
+}
+
+// BusinessProcess is the deployed e-commerce application of §II: a
+// transactional app over a sales database and a stock database, each on its
+// own claim in one namespace.
+type BusinessProcess struct {
+	Namespace string
+	PVCNames  []string
+	Sales     *db.DB
+	Stock     *db.DB
+	Shop      *workload.Shop
+}
+
+// DeployBusinessProcess creates the namespace and its two claims, waits for
+// the provisioner to bind them, and opens the databases.
+func (sys *System) DeployBusinessProcess(p *sim.Proc, namespace string) (*BusinessProcess, error) {
+	if err := sys.Main.API.Create(p, &platform.Namespace{
+		Meta: platform.Meta{Kind: platform.KindNamespace, Name: namespace},
+	}); err != nil {
+		return nil, err
+	}
+	pvcs := []string{"sales", "stock"}
+	for _, name := range pvcs {
+		if err := sys.Main.API.Create(p, &platform.PersistentVolumeClaim{
+			Meta: platform.Meta{Kind: platform.KindPVC, Namespace: namespace, Name: name},
+			Spec: platform.PVCSpec{StorageClassName: StorageClassName, SizeBlocks: sys.Cfg.VolumeBlocks},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range pvcs {
+		if err := sys.waitClaimBound(p, namespace, name, time.Second); err != nil {
+			return nil, err
+		}
+	}
+	sales, err := sys.openDB(p, namespace, "sales")
+	if err != nil {
+		return nil, err
+	}
+	stock, err := sys.openDB(p, namespace, "stock")
+	if err != nil {
+		return nil, err
+	}
+	bp := &BusinessProcess{
+		Namespace: namespace,
+		PVCNames:  pvcs,
+		Sales:     sales,
+		Stock:     stock,
+	}
+	bp.Shop = workload.NewShop(sys.Env, sales, stock, workload.Config{Seed: sys.Cfg.Seed})
+	return bp, nil
+}
+
+func (sys *System) openDB(p *sim.Proc, namespace, claim string) (*db.DB, error) {
+	vol, err := sys.Main.Array.Volume(csiplugin.VolumeIDForClaim(namespace, claim))
+	if err != nil {
+		return nil, err
+	}
+	return db.Open(p, fmt.Sprintf("%s/%s", namespace, claim), vol, sys.Cfg.DB)
+}
+
+func (sys *System) waitClaimBound(p *sim.Proc, namespace, name string, timeout time.Duration) error {
+	deadline := p.Now() + timeout
+	for {
+		obj, err := sys.Main.API.Get(p, platform.ObjectKey{Kind: platform.KindPVC, Namespace: namespace, Name: name})
+		if err == nil && obj.(*platform.PersistentVolumeClaim).Status.Phase == platform.ClaimBound {
+			return nil
+		}
+		if p.Now() >= deadline {
+			return fmt.Errorf("%w: claim %s/%s not bound", ErrTimeout, namespace, name)
+		}
+		p.Sleep(5 * time.Millisecond)
+	}
+}
+
+// EnableBackup performs demo step 1 (Fig. 3): tag the namespace and wait
+// until the operator and the replication plugin report the replication
+// group Ready.
+func (sys *System) EnableBackup(p *sim.Proc, namespace string) error {
+	obj, err := sys.Main.API.Get(p, platform.ObjectKey{Kind: platform.KindNamespace, Name: namespace})
+	if err != nil {
+		return err
+	}
+	ns := obj.(*platform.Namespace)
+	if ns.Labels == nil {
+		ns.Labels = map[string]string{}
+	}
+	ns.Labels[operator.Tag] = operator.TagValue
+	if err := sys.Main.API.Update(p, ns); err != nil {
+		return err
+	}
+	return sys.WaitBackupReady(p, namespace, 30*time.Second)
+}
+
+// WaitBackupReady blocks until the namespace's ReplicationGroup is Ready.
+func (sys *System) WaitBackupReady(p *sim.Proc, namespace string, timeout time.Duration) error {
+	deadline := p.Now() + timeout
+	key := platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: operator.GroupNameFor(namespace)}
+	for {
+		obj, err := sys.Main.API.Get(p, key)
+		if err == nil {
+			rg := obj.(*platform.ReplicationGroup)
+			if rg.Status.Phase == platform.GroupReady {
+				return nil
+			}
+			if rg.Status.Phase == platform.GroupFailed {
+				return fmt.Errorf("core: replication group failed: %s", rg.Status.Message)
+			}
+		}
+		if p.Now() >= deadline {
+			return fmt.Errorf("%w: replication group for %s not ready", ErrTimeout, namespace)
+		}
+		p.Sleep(10 * time.Millisecond)
+	}
+}
+
+// DisableBackup removes the tag; the operator tears the replication down.
+func (sys *System) DisableBackup(p *sim.Proc, namespace string) error {
+	obj, err := sys.Main.API.Get(p, platform.ObjectKey{Kind: platform.KindNamespace, Name: namespace})
+	if err != nil {
+		return err
+	}
+	ns := obj.(*platform.Namespace)
+	delete(ns.Labels, operator.Tag)
+	return sys.Main.API.Update(p, ns)
+}
+
+// Groups returns the running replication groups for a namespace.
+func (sys *System) Groups(namespace string) []*replication.Group {
+	return sys.Replication.Groups(operator.GroupNameFor(namespace))
+}
+
+// CatchUp waits for every group of the namespace to drain fully.
+func (sys *System) CatchUp(p *sim.Proc, namespace string) bool {
+	ok := true
+	for _, g := range sys.Groups(namespace) {
+		if !g.CatchUp(p) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// RPO returns the worst (largest) RPO across the namespace's groups.
+func (sys *System) RPO(namespace string) time.Duration {
+	var worst time.Duration
+	for _, g := range sys.Groups(namespace) {
+		if r := g.RPO(sys.Env.Now()); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// Backlog returns the total un-applied journal records for the namespace.
+func (sys *System) Backlog(namespace string) int {
+	var n int
+	for _, g := range sys.Groups(namespace) {
+		n += g.Backlog()
+	}
+	return n
+}

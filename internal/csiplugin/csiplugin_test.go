@@ -1,0 +1,350 @@
+package csiplugin
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netlink"
+	"repro/internal/platform"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// twoSites is the plugin test fixture: main and backup arrays + API
+// servers, a link, and a running provisioner on the main site.
+type twoSites struct {
+	env         *sim.Env
+	sites       SitePair
+	provisioner *Provisioner
+}
+
+func newTwoSites(t *testing.T) *twoSites {
+	t.Helper()
+	env := sim.NewEnv(1)
+	f := &twoSites{
+		env: env,
+		sites: SitePair{
+			MainAPI:     platform.NewAPIServer(env, platform.APIConfig{}),
+			BackupAPI:   platform.NewAPIServer(env, platform.APIConfig{}),
+			MainArray:   storage.NewArray(env, "main-array", storage.Config{}),
+			BackupArray: storage.NewArray(env, "backup-array", storage.Config{}),
+			Link:        netlink.New(env, netlink.Config{Propagation: time.Millisecond}),
+		},
+	}
+	f.provisioner = NewProvisioner(env, f.sites.MainAPI,
+		map[string]*storage.Array{"main-array": f.sites.MainArray})
+	f.provisioner.Start()
+	env.Process("setup", func(p *sim.Proc) {
+		if err := f.sites.MainAPI.Create(p, &platform.StorageClass{
+			Meta:        platform.Meta{Kind: platform.KindStorageClass, Name: "fast"},
+			Provisioner: "csi.sim", ArrayName: "main-array",
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run(0)
+	return f
+}
+
+// createClaims makes PVCs and lets the provisioner bind them.
+func (f *twoSites) createClaims(t *testing.T, ns string, names ...string) {
+	t.Helper()
+	f.env.Process("claims", func(p *sim.Proc) {
+		for _, name := range names {
+			err := f.sites.MainAPI.Create(p, &platform.PersistentVolumeClaim{
+				Meta: platform.Meta{Kind: platform.KindPVC, Namespace: ns, Name: name},
+				Spec: platform.PVCSpec{StorageClassName: "fast", SizeBlocks: 256},
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	f.env.Run(time.Second)
+}
+
+func TestProvisionerBindsClaims(t *testing.T) {
+	f := newTwoSites(t)
+	f.createClaims(t, "shop", "sales", "stock")
+	f.env.Process("check", func(p *sim.Proc) {
+		for _, name := range []string{"sales", "stock"} {
+			obj, err := f.sites.MainAPI.Get(p, platform.ObjectKey{Kind: platform.KindPVC, Namespace: "shop", Name: name})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			c := obj.(*platform.PersistentVolumeClaim)
+			if c.Status.Phase != platform.ClaimBound {
+				t.Errorf("claim %s phase = %s", name, c.Status.Phase)
+			}
+			if _, err := f.sites.MainArray.Volume(VolumeIDForClaim("shop", name)); err != nil {
+				t.Errorf("array volume missing: %v", err)
+			}
+			if _, err := f.sites.MainAPI.Get(p, platform.ObjectKey{Kind: platform.KindPV, Name: c.Status.VolumeName}); err != nil {
+				t.Errorf("PV missing: %v", err)
+			}
+		}
+	})
+	f.env.Run(0)
+	if f.provisioner.Provisioned() != 2 {
+		t.Fatalf("provisioned = %d", f.provisioner.Provisioned())
+	}
+}
+
+func TestProvisionerUnknownClassRetries(t *testing.T) {
+	f := newTwoSites(t)
+	f.env.Process("claim", func(p *sim.Proc) {
+		f.sites.MainAPI.Create(p, &platform.PersistentVolumeClaim{
+			Meta: platform.Meta{Kind: platform.KindPVC, Namespace: "shop", Name: "bad"},
+			Spec: platform.PVCSpec{StorageClassName: "missing", SizeBlocks: 10},
+		})
+	})
+	f.env.Run(100 * time.Millisecond)
+	f.env.Process("check", func(p *sim.Proc) {
+		obj, _ := f.sites.MainAPI.Get(p, platform.ObjectKey{Kind: platform.KindPVC, Namespace: "shop", Name: "bad"})
+		if obj.(*platform.PersistentVolumeClaim).Status.Phase == platform.ClaimBound {
+			t.Error("claim with missing class bound")
+		}
+	})
+	f.env.Run(100 * time.Millisecond)
+}
+
+// createRG posts a ReplicationGroup CR and runs the plugin until Ready.
+func (f *twoSites) createRG(t *testing.T, name string, cg bool, pvcs ...string) *ReplicationPlugin {
+	t.Helper()
+	rp := NewReplicationPlugin(f.env, f.sites, replication.Config{})
+	rp.Start()
+	f.env.Process("rg", func(p *sim.Proc) {
+		err := f.sites.MainAPI.Create(p, &platform.ReplicationGroup{
+			Meta: platform.Meta{Kind: platform.KindReplicationGroup, Name: name},
+			Spec: platform.ReplicationGroupSpec{
+				SourceNamespace:  "shop",
+				PVCNames:         pvcs,
+				ConsistencyGroup: cg,
+			},
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	f.env.Run(5 * time.Second)
+	return rp
+}
+
+func TestReplicationPluginConfiguresCG(t *testing.T) {
+	f := newTwoSites(t)
+	f.createClaims(t, "shop", "sales", "stock")
+	rp := f.createRG(t, "backup-shop", true, "sales", "stock")
+
+	f.env.Process("check", func(p *sim.Proc) {
+		obj, err := f.sites.MainAPI.Get(p, platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: "backup-shop"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rg := obj.(*platform.ReplicationGroup)
+		if rg.Status.Phase != platform.GroupReady {
+			t.Errorf("phase = %s (%s)", rg.Status.Phase, rg.Status.Message)
+		}
+		if rg.Status.JournalID == "" || len(rg.Status.JournalIDs) != 1 {
+			t.Errorf("journals = %q %v", rg.Status.JournalID, rg.Status.JournalIDs)
+		}
+		// One shared journal with both volumes: the consistency group.
+		j, err := f.sites.MainArray.Journal(rg.Status.JournalID)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(j.Members()) != 2 {
+			t.Errorf("journal members = %v", j.Members())
+		}
+		// Backup twins exist and are read-only; PVCs appear at backup
+		// (Fig. 4).
+		for _, name := range []string{"sales", "stock"} {
+			tv, err := f.sites.BackupArray.Volume(VolumeIDForClaim("shop", name))
+			if err != nil {
+				t.Errorf("backup volume: %v", err)
+				continue
+			}
+			if !tv.ReadOnly() {
+				t.Error("backup twin writable while replicating")
+			}
+			if _, err := f.sites.BackupAPI.Get(p, platform.ObjectKey{Kind: platform.KindPVC, Namespace: "shop", Name: name}); err != nil {
+				t.Errorf("backup PVC missing: %v", err)
+			}
+		}
+	})
+	f.env.Run(0)
+	if got := len(rp.Groups("backup-shop")); got != 1 {
+		t.Fatalf("running groups = %d, want 1", got)
+	}
+}
+
+func TestReplicationPluginPerVolumeMode(t *testing.T) {
+	f := newTwoSites(t)
+	f.createClaims(t, "shop", "sales", "stock")
+	rp := f.createRG(t, "backup-shop", false, "sales", "stock")
+	if got := len(rp.Groups("backup-shop")); got != 2 {
+		t.Fatalf("running groups = %d, want 2 (one per volume)", got)
+	}
+	f.env.Process("check", func(p *sim.Proc) {
+		obj, _ := f.sites.MainAPI.Get(p, platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: "backup-shop"})
+		rg := obj.(*platform.ReplicationGroup)
+		if len(rg.Status.JournalIDs) != 2 {
+			t.Errorf("journal IDs = %v", rg.Status.JournalIDs)
+		}
+		if rg.Status.JournalID != "" {
+			t.Errorf("shared journal set in per-volume mode: %q", rg.Status.JournalID)
+		}
+	})
+	f.env.Run(0)
+}
+
+func TestReplicationPluginReplicatesData(t *testing.T) {
+	f := newTwoSites(t)
+	f.createClaims(t, "shop", "sales")
+	// Preload data before replication so initial copy matters.
+	f.env.Process("preload", func(p *sim.Proc) {
+		v, _ := f.sites.MainArray.Volume(VolumeIDForClaim("shop", "sales"))
+		buf := make([]byte, f.sites.MainArray.Config().BlockSize)
+		buf[0] = 0x42
+		v.Write(p, 7, buf)
+	})
+	f.env.Run(0)
+	rp := f.createRG(t, "backup-shop", true, "sales")
+	// Write more after replication is up; drain should carry it.
+	f.env.Process("write", func(p *sim.Proc) {
+		v, _ := f.sites.MainArray.Volume(VolumeIDForClaim("shop", "sales"))
+		buf := make([]byte, f.sites.MainArray.Config().BlockSize)
+		buf[0] = 0x43
+		v.Write(p, 8, buf)
+		for _, g := range rp.Groups("backup-shop") {
+			g.CatchUp(p)
+		}
+	})
+	f.env.Run(10 * time.Second)
+	tv, _ := f.sites.BackupArray.Volume(VolumeIDForClaim("shop", "sales"))
+	if tv.Peek(7)[0] != 0x42 {
+		t.Fatal("initial copy missed preloaded block")
+	}
+	if tv.Peek(8)[0] != 0x43 {
+		t.Fatal("drain missed post-start write")
+	}
+}
+
+func TestReplicationPluginTeardownOnDelete(t *testing.T) {
+	f := newTwoSites(t)
+	f.createClaims(t, "shop", "sales")
+	rp := f.createRG(t, "backup-shop", true, "sales")
+	if len(rp.Groups("backup-shop")) != 1 {
+		t.Fatal("group not configured")
+	}
+	journalID := rp.Groups("backup-shop")[0].Journal().ID()
+	f.env.Process("delete", func(p *sim.Proc) {
+		f.sites.MainAPI.Delete(p, platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: "backup-shop"})
+	})
+	f.env.Run(5 * time.Second)
+	if len(rp.Groups("backup-shop")) != 0 {
+		t.Fatal("groups survive CR deletion")
+	}
+	if _, err := f.sites.MainArray.Journal(journalID); err == nil {
+		t.Fatal("journal survives CR deletion")
+	}
+	// Source volume is usable again (journal detached).
+	v, _ := f.sites.MainArray.Volume(VolumeIDForClaim("shop", "sales"))
+	if v.Journal() != nil {
+		t.Fatal("source volume still journal-attached")
+	}
+}
+
+func TestSnapshotControllerSingle(t *testing.T) {
+	f := newTwoSites(t)
+	f.createClaims(t, "shop", "sales")
+	sc := NewSnapshotController(f.env, f.sites.MainAPI, f.sites.MainArray, FeatureGates{})
+	sc.Start()
+	f.env.Process("snap", func(p *sim.Proc) {
+		f.sites.MainAPI.Create(p, &platform.VolumeSnapshot{
+			Meta: platform.Meta{Kind: platform.KindVolumeSnapshot, Namespace: "shop", Name: "s1"},
+			Spec: platform.VolumeSnapshotSpec{PVCName: "sales"},
+		})
+	})
+	f.env.Run(time.Second)
+	f.env.Process("check", func(p *sim.Proc) {
+		obj, _ := f.sites.MainAPI.Get(p, platform.ObjectKey{Kind: platform.KindVolumeSnapshot, Namespace: "shop", Name: "s1"})
+		st := obj.(*platform.VolumeSnapshot).Status
+		if !st.Ready || st.SnapshotID == "" {
+			t.Errorf("status = %+v", st)
+		}
+		if _, err := f.sites.MainArray.Snapshot(st.SnapshotID); err != nil {
+			t.Errorf("array snapshot: %v", err)
+		}
+	})
+	f.env.Run(0)
+	if sc.Snapshots() != 1 {
+		t.Fatalf("snapshots = %d", sc.Snapshots())
+	}
+}
+
+func TestSnapshotGroupGateOffRefuses(t *testing.T) {
+	f := newTwoSites(t)
+	f.createClaims(t, "shop", "sales", "stock")
+	sc := NewSnapshotController(f.env, f.sites.MainAPI, f.sites.MainArray, FeatureGates{VolumeGroupSnapshot: false})
+	sc.Start()
+	f.env.Process("snap", func(p *sim.Proc) {
+		f.sites.MainAPI.Create(p, &platform.VolumeGroupSnapshot{
+			Meta: platform.Meta{Kind: platform.KindVolumeGroupSnapshot, Namespace: "shop", Name: "g1"},
+			Spec: platform.VolumeGroupSnapshotSpec{PVCNames: []string{"sales", "stock"}},
+		})
+	})
+	f.env.Run(time.Second)
+	f.env.Process("check", func(p *sim.Proc) {
+		obj, _ := f.sites.MainAPI.Get(p, platform.ObjectKey{Kind: platform.KindVolumeGroupSnapshot, Namespace: "shop", Name: "g1"})
+		st := obj.(*platform.VolumeGroupSnapshot).Status
+		if st.Ready {
+			t.Error("group snapshot ready despite disabled gate")
+		}
+		if !strings.Contains(st.Message, "feature gate") {
+			t.Errorf("message = %q", st.Message)
+		}
+	})
+	f.env.Run(0)
+	if sc.Refused() != 1 || sc.Snapshots() != 0 {
+		t.Fatalf("refused=%d snapshots=%d", sc.Refused(), sc.Snapshots())
+	}
+	if len(f.sites.MainArray.ListSnapshots()) != 0 {
+		t.Fatal("array snapshots created despite gate")
+	}
+}
+
+func TestSnapshotGroupGateOnCreatesAtomically(t *testing.T) {
+	f := newTwoSites(t)
+	f.createClaims(t, "shop", "sales", "stock")
+	sc := NewSnapshotController(f.env, f.sites.MainAPI, f.sites.MainArray, FeatureGates{VolumeGroupSnapshot: true})
+	sc.Start()
+	f.env.Process("snap", func(p *sim.Proc) {
+		f.sites.MainAPI.Create(p, &platform.VolumeGroupSnapshot{
+			Meta: platform.Meta{Kind: platform.KindVolumeGroupSnapshot, Namespace: "shop", Name: "g1"},
+			Spec: platform.VolumeGroupSnapshotSpec{PVCNames: []string{"sales", "stock"}},
+		})
+	})
+	f.env.Run(time.Second)
+	f.env.Process("check", func(p *sim.Proc) {
+		obj, _ := f.sites.MainAPI.Get(p, platform.ObjectKey{Kind: platform.KindVolumeGroupSnapshot, Namespace: "shop", Name: "g1"})
+		st := obj.(*platform.VolumeGroupSnapshot).Status
+		if !st.Ready || len(st.SnapshotIDs) != 2 {
+			t.Errorf("status = %+v", st)
+		}
+		g, err := f.sites.MainArray.SnapshotGroupByName(st.GroupName)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		snaps := g.Snapshots()
+		if len(snaps) != 2 || snaps[0].TakenAt() != snaps[1].TakenAt() {
+			t.Error("group snapshots not atomic")
+		}
+	})
+	f.env.Run(0)
+}

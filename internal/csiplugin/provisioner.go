@@ -1,0 +1,137 @@
+// Package csiplugin implements the vendor storage plugins of §III-B2 as
+// platform controllers:
+//
+//   - Provisioner ("Storage Plug-in for Containers"): dynamic provisioning —
+//     Pending PVCs get an array volume and a bound PV.
+//   - ReplicationPlugin ("Replication Plug-in for Containers"): reconciles
+//     ReplicationGroup custom resources into configured ADC with (or
+//     without) a consistency group, including the backup-site PV/PVC
+//     objects that "appear" in the demo's Fig. 4.
+//   - SnapshotController: VolumeSnapshot CRs, plus VolumeGroupSnapshot CRs
+//     behind the CSI alpha feature gate (§II) — gate off reproduces the
+//     paper's "operate the storage system directly" limitation.
+package csiplugin
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Plugin-level errors.
+var (
+	// ErrClaimNotBound reports a PVC that has no volume yet; reconciles
+	// retry until the provisioner binds it.
+	ErrClaimNotBound = errors.New("csiplugin: claim not bound")
+	// ErrUnknownArray reports a storage class naming an array the plugin
+	// does not manage.
+	ErrUnknownArray = errors.New("csiplugin: unknown array")
+	// ErrFeatureGateDisabled reports use of the VolumeGroupSnapshot alpha
+	// API with the gate off.
+	ErrFeatureGateDisabled = errors.New("csiplugin: VolumeGroupSnapshot feature gate disabled")
+)
+
+// Provisioner binds Pending PVCs to freshly provisioned array volumes.
+type Provisioner struct {
+	env    *sim.Env
+	api    *platform.APIServer
+	arrays map[string]*storage.Array
+	ctrl   *platform.Controller
+
+	provisioned int64
+}
+
+// NewProvisioner manages the given arrays (keyed by array name, referenced
+// from StorageClass.ArrayName).
+func NewProvisioner(env *sim.Env, api *platform.APIServer, arrays map[string]*storage.Array) *Provisioner {
+	pr := &Provisioner{env: env, api: api, arrays: arrays}
+	pr.ctrl = platform.NewController(env, api, "provisioner", platform.KindPVC, nil,
+		platform.ReconcilerFunc(pr.reconcile), platform.ControllerConfig{})
+	return pr
+}
+
+// Start launches the controller.
+func (pr *Provisioner) Start() { pr.ctrl.Start() }
+
+// Stop halts the controller.
+func (pr *Provisioner) Stop() { pr.ctrl.Stop() }
+
+// Provisioned returns how many volumes this plugin created.
+func (pr *Provisioner) Provisioned() int64 { return pr.provisioned }
+
+// VolumeIDForClaim is the deterministic array volume name for a claim.
+func VolumeIDForClaim(namespace, name string) storage.VolumeID {
+	return storage.VolumeID(fmt.Sprintf("pvc-%s-%s", namespace, name))
+}
+
+// PVNameForClaim is the deterministic PV object name for a claim.
+func PVNameForClaim(namespace, name string) string {
+	return fmt.Sprintf("pv-%s-%s", namespace, name)
+}
+
+func (pr *Provisioner) reconcile(p *sim.Proc, key platform.ObjectKey) error {
+	obj, err := pr.api.Get(p, key)
+	if errors.Is(err, platform.ErrNotFound) {
+		return nil // claim deleted; nothing to unwind in this demo
+	}
+	if err != nil {
+		return err
+	}
+	claim := obj.(*platform.PersistentVolumeClaim)
+	if claim.Status.Phase == platform.ClaimBound {
+		return nil
+	}
+	scObj, err := pr.api.Get(p, platform.ObjectKey{Kind: platform.KindStorageClass, Name: claim.Spec.StorageClassName})
+	if err != nil {
+		return fmt.Errorf("csiplugin: claim %s: storage class: %w", key, err)
+	}
+	sc := scObj.(*platform.StorageClass)
+	array, ok := pr.arrays[sc.ArrayName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownArray, sc.ArrayName)
+	}
+	volID := VolumeIDForClaim(claim.Namespace, claim.Name)
+	if _, err := array.CreateVolume(volID, claim.Spec.SizeBlocks); err != nil && !errors.Is(err, storage.ErrVolumeExists) {
+		return err
+	}
+	pvName := PVNameForClaim(claim.Namespace, claim.Name)
+	pv := &platform.PersistentVolume{
+		Meta: platform.Meta{Kind: platform.KindPV, Name: pvName},
+		Spec: platform.PVSpec{ArrayName: sc.ArrayName, VolumeID: volID, SizeBlocks: claim.Spec.SizeBlocks},
+		Status: platform.PVStatus{
+			Phase:     platform.VolumeBound,
+			ClaimRef:  claim.Key(),
+			ClaimName: claim.Name,
+		},
+	}
+	if err := pr.api.Create(p, pv); err != nil && !errors.Is(err, platform.ErrExists) {
+		return err
+	}
+	claim.Status.Phase = platform.ClaimBound
+	claim.Status.VolumeName = pvName
+	if err := pr.api.Update(p, claim); err != nil {
+		return err
+	}
+	pr.provisioned++
+	return nil
+}
+
+// resolveClaimVolume maps a bound PVC to its array volume via the PV.
+func resolveClaimVolume(p *sim.Proc, api *platform.APIServer, namespace, name string) (*platform.PersistentVolume, error) {
+	obj, err := api.Get(p, platform.ObjectKey{Kind: platform.KindPVC, Namespace: namespace, Name: name})
+	if err != nil {
+		return nil, err
+	}
+	claim := obj.(*platform.PersistentVolumeClaim)
+	if claim.Status.Phase != platform.ClaimBound || claim.Status.VolumeName == "" {
+		return nil, fmt.Errorf("%w: %s/%s", ErrClaimNotBound, namespace, name)
+	}
+	pvObj, err := api.Get(p, platform.ObjectKey{Kind: platform.KindPV, Name: claim.Status.VolumeName})
+	if err != nil {
+		return nil, err
+	}
+	return pvObj.(*platform.PersistentVolume), nil
+}

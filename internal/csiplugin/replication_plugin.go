@@ -1,0 +1,242 @@
+package csiplugin
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/netlink"
+	"repro/internal/platform"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// SitePair wires the replication plugin to both sites' resources.
+type SitePair struct {
+	MainAPI     *platform.APIServer
+	BackupAPI   *platform.APIServer
+	MainArray   *storage.Array
+	BackupArray *storage.Array
+	Link        *netlink.Link
+}
+
+// ReplicationPlugin reconciles ReplicationGroup custom resources on the
+// main site into running ADC: journal volumes, consistency-group
+// membership, backup-site volumes with PV/PVC objects, initial copy, and
+// the drain. Deleting the CR tears the configuration down.
+type ReplicationPlugin struct {
+	env   *sim.Env
+	sites SitePair
+	cfg   replication.Config
+	ctrl  *platform.Controller
+
+	// groups tracks the running replication groups per CR name. With
+	// ConsistencyGroup=true there is exactly one; otherwise one per volume.
+	groups map[string][]*replication.Group
+}
+
+// NewReplicationPlugin builds the plugin; Start launches its controller.
+func NewReplicationPlugin(env *sim.Env, sites SitePair, cfg replication.Config) *ReplicationPlugin {
+	rp := &ReplicationPlugin{env: env, sites: sites, cfg: cfg, groups: make(map[string][]*replication.Group)}
+	rp.ctrl = platform.NewController(env, sites.MainAPI, "replication-plugin",
+		platform.KindReplicationGroup, nil, platform.ReconcilerFunc(rp.reconcile),
+		platform.ControllerConfig{})
+	return rp
+}
+
+// Start launches the controller.
+func (rp *ReplicationPlugin) Start() { rp.ctrl.Start() }
+
+// Stop halts the controller (running replication groups keep draining; use
+// Groups to stop them explicitly).
+func (rp *ReplicationPlugin) Stop() { rp.ctrl.Stop() }
+
+// Groups returns the running replication groups for a CR name.
+func (rp *ReplicationPlugin) Groups(name string) []*replication.Group {
+	out := make([]*replication.Group, len(rp.groups[name]))
+	copy(out, rp.groups[name])
+	return out
+}
+
+// AllGroups returns every running group (for site-wide operations).
+func (rp *ReplicationPlugin) AllGroups() []*replication.Group {
+	var out []*replication.Group
+	for _, gs := range rp.groups {
+		out = append(out, gs...)
+	}
+	return out
+}
+
+func (rp *ReplicationPlugin) reconcile(p *sim.Proc, key platform.ObjectKey) error {
+	obj, err := rp.sites.MainAPI.Get(p, key)
+	if errors.Is(err, platform.ErrNotFound) {
+		return rp.teardown(p, key.Name)
+	}
+	if err != nil {
+		return err
+	}
+	rg := obj.(*platform.ReplicationGroup)
+	if rg.Status.Phase == platform.GroupReady && len(rp.groups[rg.Name]) > 0 {
+		return nil
+	}
+	if len(rp.groups[rg.Name]) > 0 {
+		// Partially configured from an earlier attempt; report Ready.
+		return rp.setPhase(p, rg, platform.GroupReady, "replication running")
+	}
+
+	// Resolve every claim to its source volume.
+	type member struct {
+		pvcName string
+		volID   storage.VolumeID
+		size    int64
+	}
+	var members []member
+	for _, pvcName := range rg.Spec.PVCNames {
+		pv, err := resolveClaimVolume(p, rp.sites.MainAPI, rg.Spec.SourceNamespace, pvcName)
+		if err != nil {
+			_ = rp.setPhase(p, rg, platform.GroupPending, err.Error())
+			return err // retry until the provisioner binds the claim
+		}
+		members = append(members, member{pvcName: pvcName, volID: pv.Spec.VolumeID, size: pv.Spec.SizeBlocks})
+	}
+	if len(members) == 0 {
+		return rp.setPhase(p, rg, platform.GroupFailed, "no PVCs to replicate")
+	}
+
+	// Provision backup-site twins: volume + PV + PVC so the backup console
+	// lists them (Fig. 4). Twins are read-only while replication runs.
+	for _, m := range members {
+		if _, err := rp.sites.BackupArray.CreateVolume(m.volID, m.size); err != nil && !errors.Is(err, storage.ErrVolumeExists) {
+			return err
+		}
+		tv, err := rp.sites.BackupArray.Volume(m.volID)
+		if err != nil {
+			return err
+		}
+		tv.SetReadOnly(true)
+		pv := &platform.PersistentVolume{
+			Meta:   platform.Meta{Kind: platform.KindPV, Name: PVNameForClaim(rg.Spec.SourceNamespace, m.pvcName)},
+			Spec:   platform.PVSpec{ArrayName: rp.sites.BackupArray.Name(), VolumeID: m.volID, SizeBlocks: m.size},
+			Status: platform.PVStatus{Phase: platform.VolumeBound, ClaimName: m.pvcName},
+		}
+		if err := rp.sites.BackupAPI.Create(p, pv); err != nil && !errors.Is(err, platform.ErrExists) {
+			return err
+		}
+		pvc := &platform.PersistentVolumeClaim{
+			Meta: platform.Meta{Kind: platform.KindPVC, Namespace: rg.Spec.SourceNamespace, Name: m.pvcName},
+			Spec: platform.PVCSpec{SizeBlocks: m.size},
+			Status: platform.PVCStatus{
+				Phase:      platform.ClaimBound,
+				VolumeName: pv.Name,
+			},
+		}
+		if err := rp.sites.BackupAPI.Create(p, pvc); err != nil && !errors.Is(err, platform.ErrExists) {
+			return err
+		}
+	}
+
+	if err := rp.setPhase(p, rg, platform.GroupSyncing, "initial copy"); err != nil {
+		return err
+	}
+
+	// Journal layout: one shared journal (consistency group) or one per
+	// volume (the collapse-prone configuration E6 measures).
+	var journalSets [][]member
+	if rg.Spec.ConsistencyGroup {
+		journalSets = [][]member{members}
+	} else {
+		for _, m := range members {
+			journalSets = append(journalSets, []member{m})
+		}
+	}
+	var created []*replication.Group
+	var journalIDs []string
+	for i, set := range journalSets {
+		journalID := fmt.Sprintf("jnl-%s-%d", rg.Name, i)
+		vols := make([]storage.VolumeID, len(set))
+		mapping := make(map[storage.VolumeID]storage.VolumeID, len(set))
+		for j, m := range set {
+			vols[j] = m.volID
+			mapping[m.volID] = m.volID
+		}
+		journal, err := rp.sites.MainArray.CreateConsistencyGroup(journalID, vols)
+		if err != nil && !errors.Is(err, storage.ErrJournalExists) {
+			return err
+		}
+		if journal == nil {
+			journal, err = rp.sites.MainArray.Journal(journalID)
+			if err != nil {
+				return err
+			}
+		}
+		g, err := replication.NewGroup(rp.env, fmt.Sprintf("%s-%d", rg.Name, i), journal,
+			rp.sites.BackupArray, mapping, rp.sites.Link, rp.cfg)
+		if err != nil {
+			return err
+		}
+		if err := g.InitialCopy(p, rp.sites.MainArray); err != nil {
+			return err
+		}
+		g.Start()
+		created = append(created, g)
+		journalIDs = append(journalIDs, journalID)
+	}
+	rp.groups[rg.Name] = created
+
+	// Refresh the CR (phase Syncing bumped its version) and mark Ready.
+	cur, err := rp.sites.MainAPI.Get(p, key)
+	if err != nil {
+		return err
+	}
+	rg = cur.(*platform.ReplicationGroup)
+	rg.Status.Phase = platform.GroupReady
+	rg.Status.Message = "replication running"
+	if rg.Spec.ConsistencyGroup {
+		rg.Status.JournalID = journalIDs[0]
+	}
+	rg.Status.JournalIDs = journalIDs
+	return rp.sites.MainAPI.Update(p, rg)
+}
+
+// teardown stops and forgets the groups configured for a deleted CR.
+func (rp *ReplicationPlugin) teardown(p *sim.Proc, name string) error {
+	groups := rp.groups[name]
+	if groups == nil {
+		return nil
+	}
+	for _, g := range groups {
+		g.Stop()
+		for src := range g.Mapping() {
+			if err := rp.sites.MainArray.DetachJournal(src); err != nil {
+				return err
+			}
+		}
+		if err := rp.sites.MainArray.DeleteJournal(g.Journal().ID()); err != nil && !errors.Is(err, storage.ErrNoSuchJournal) {
+			return err
+		}
+	}
+	delete(rp.groups, name)
+	return nil
+}
+
+// setPhase patches the CR status, tolerating concurrent updates by
+// re-reading on conflict.
+func (rp *ReplicationPlugin) setPhase(p *sim.Proc, rg *platform.ReplicationGroup, phase platform.GroupPhase, msg string) error {
+	for {
+		cur, err := rp.sites.MainAPI.Get(p, rg.Key())
+		if err != nil {
+			return err
+		}
+		c := cur.(*platform.ReplicationGroup)
+		c.Status.Phase = phase
+		c.Status.Message = msg
+		err = rp.sites.MainAPI.Update(p, c)
+		if errors.Is(err, platform.ErrConflict) {
+			continue
+		}
+		if err == nil {
+			*rg = *c
+		}
+		return err
+	}
+}

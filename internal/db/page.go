@@ -1,0 +1,117 @@
+package db
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Data pages are fixed-slot hash pages: a key hashes to one page, and the
+// row occupies the first free slot (or its existing slot on update). Slot
+// layout: flags(1) + key(8) + txid(8) + vallen(2) + val[MaxValLen].
+const (
+	// MaxValLen is the largest value a row can hold.
+	MaxValLen = 109
+	slotSize  = 1 + 8 + 8 + 2 + MaxValLen // 128 bytes
+	slotUsed  = 0x01
+)
+
+// Page-level errors.
+var (
+	// ErrPageFull reports that a key's home page has no free slot.
+	ErrPageFull = errors.New("db: page full")
+	// ErrValTooLarge reports a value over MaxValLen bytes.
+	ErrValTooLarge = errors.New("db: value too large")
+	// ErrZeroKey reports key 0, which is reserved.
+	ErrZeroKey = errors.New("db: key must be nonzero")
+)
+
+// Row is one stored record.
+type Row struct {
+	Key  uint64
+	TxID uint64 // transaction that last wrote the row
+	Val  []byte
+}
+
+func slotsPerPage(blockSize int) int { return blockSize / slotSize }
+
+// pageLookup scans a page for key; it returns the row and true when found.
+func pageLookup(page []byte, key uint64) (Row, bool) {
+	n := slotsPerPage(len(page))
+	for i := 0; i < n; i++ {
+		off := i * slotSize
+		if page[off]&slotUsed == 0 {
+			continue
+		}
+		if binary.LittleEndian.Uint64(page[off+1:off+9]) != key {
+			continue
+		}
+		return decodeSlot(page, off), true
+	}
+	return Row{}, false
+}
+
+// pageUpsert writes the row into its existing slot or the first free one.
+func pageUpsert(page []byte, row Row) error {
+	if row.Key == 0 {
+		return ErrZeroKey
+	}
+	if len(row.Val) > MaxValLen {
+		return fmt.Errorf("%w: %d > %d", ErrValTooLarge, len(row.Val), MaxValLen)
+	}
+	n := slotsPerPage(len(page))
+	free := -1
+	for i := 0; i < n; i++ {
+		off := i * slotSize
+		if page[off]&slotUsed == 0 {
+			if free < 0 {
+				free = off
+			}
+			continue
+		}
+		if binary.LittleEndian.Uint64(page[off+1:off+9]) == row.Key {
+			encodeSlot(page, off, row)
+			return nil
+		}
+	}
+	if free < 0 {
+		return fmt.Errorf("%w: key %d", ErrPageFull, row.Key)
+	}
+	encodeSlot(page, free, row)
+	return nil
+}
+
+// pageRows returns every occupied row in slot order.
+func pageRows(page []byte) []Row {
+	n := slotsPerPage(len(page))
+	var out []Row
+	for i := 0; i < n; i++ {
+		off := i * slotSize
+		if page[off]&slotUsed == 0 {
+			continue
+		}
+		out = append(out, decodeSlot(page, off))
+	}
+	return out
+}
+
+func encodeSlot(page []byte, off int, row Row) {
+	page[off] = slotUsed
+	binary.LittleEndian.PutUint64(page[off+1:off+9], row.Key)
+	binary.LittleEndian.PutUint64(page[off+9:off+17], row.TxID)
+	binary.LittleEndian.PutUint16(page[off+17:off+19], uint16(len(row.Val)))
+	copy(page[off+19:off+19+MaxValLen], make([]byte, MaxValLen))
+	copy(page[off+19:], row.Val)
+}
+
+func decodeSlot(page []byte, off int) Row {
+	key := binary.LittleEndian.Uint64(page[off+1 : off+9])
+	txid := binary.LittleEndian.Uint64(page[off+9 : off+17])
+	vlen := int(binary.LittleEndian.Uint16(page[off+17 : off+19]))
+	if vlen > MaxValLen {
+		vlen = MaxValLen
+	}
+	val := make([]byte, vlen)
+	copy(val, page[off+19:off+19+vlen])
+	return Row{Key: key, TxID: txid, Val: val}
+}

@@ -1,0 +1,158 @@
+package db
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+// Txn buffers a transaction's updates until Commit. Updates are not visible
+// to reads (including the transaction's own) until Commit returns — the
+// deferred-update discipline that keeps uncommitted data off disk.
+type Txn struct {
+	db      *DB
+	id      uint64
+	updates []Row
+	done    bool
+}
+
+// Begin starts a transaction with a fresh ID.
+func (d *DB) Begin() *Txn {
+	id := d.nextTxID
+	d.nextTxID++
+	return &Txn{db: d, id: id}
+}
+
+// BeginWithID starts a transaction with a caller-chosen ID. The e-commerce
+// workload uses it to stamp the same business transaction ID into both the
+// sales and stock databases so the consistency verifier can correlate them.
+func (d *DB) BeginWithID(id uint64) *Txn {
+	if id >= d.nextTxID {
+		d.nextTxID = id + 1
+	}
+	return &Txn{db: d, id: id}
+}
+
+// ID returns the transaction ID.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Put buffers an upsert of key to val.
+func (t *Txn) Put(key uint64, val []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if key == 0 {
+		return ErrZeroKey
+	}
+	if len(val) > MaxValLen {
+		return fmt.Errorf("%w: %d bytes", ErrValTooLarge, len(val))
+	}
+	v := make([]byte, len(val))
+	copy(v, val)
+	t.updates = append(t.updates, Row{Key: key, TxID: t.id, Val: v})
+	return nil
+}
+
+// Get reads a key with read-your-writes semantics: the transaction's own
+// buffered update wins over the committed state.
+func (t *Txn) Get(p *sim.Proc, key uint64) ([]byte, bool, error) {
+	if t.done {
+		return nil, false, ErrTxnDone
+	}
+	for i := len(t.updates) - 1; i >= 0; i-- {
+		if t.updates[i].Key == key {
+			out := make([]byte, len(t.updates[i].Val))
+			copy(out, t.updates[i].Val)
+			return out, true, nil
+		}
+	}
+	return t.db.Get(p, key)
+}
+
+// Abort discards the transaction. Nothing was written, so it is free.
+func (t *Txn) Abort() { t.done = true }
+
+// Commit makes the transaction durable: WAL records (updates + commit) are
+// flushed to the volume, then the updates are applied to the in-memory
+// pages. The ack the caller gets back is the database commit ack whose
+// latency E5 measures.
+func (t *Txn) Commit(p *sim.Proc) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	d := t.db
+	// Commits serialize: interleaved WAL flushes from concurrent clients
+	// would corrupt the head-block state.
+	d.mu.Acquire(p)
+	defer d.mu.Release()
+	// Verify each update lands on a page with room, before logging anything.
+	for _, u := range t.updates {
+		page, err := d.loadPage(p, d.pageBlock(u.Key))
+		if err != nil {
+			return err
+		}
+		probe := make([]byte, len(page))
+		copy(probe, page)
+		if err := pageUpsert(probe, u); err != nil {
+			return err
+		}
+	}
+	// Encode the log entries.
+	encoded := make([][]byte, 0, len(t.updates)+1)
+	var totalBytes int
+	for _, u := range t.updates {
+		rec := wal.Record{Type: wal.TypeUpdate, Epoch: d.epoch, TxID: t.id, Key: u.Key, Val: u.Val}
+		if rec.EncodedSize() > d.walCapacity() {
+			return fmt.Errorf("%w: record %d bytes", ErrTxnTooLarge, rec.EncodedSize())
+		}
+		encoded = append(encoded, wal.AppendEncode(nil, rec))
+		totalBytes += rec.EncodedSize()
+	}
+	commitRec := wal.Record{Type: wal.TypeCommit, Epoch: d.epoch, TxID: t.id}
+	encoded = append(encoded, wal.AppendEncode(nil, commitRec))
+	totalBytes += commitRec.EncodedSize()
+
+	sizes := make([]int, len(encoded))
+	for i, e := range encoded {
+		sizes[i] = len(e)
+	}
+	// Make room: a checkpoint empties the WAL but must not run between a
+	// transaction's records, so take it up front when the packing check
+	// says the records will not fit in the remaining region.
+	if !d.walFits(sizes) {
+		if err := d.Checkpoint(p); err != nil {
+			return err
+		}
+		if !d.walFits(sizes) {
+			return fmt.Errorf("%w: %d bytes", ErrTxnTooLarge, totalBytes)
+		}
+		// Re-stamp records with the new epoch.
+		encoded = encoded[:0]
+		for _, u := range t.updates {
+			encoded = append(encoded, wal.AppendEncode(nil, wal.Record{
+				Type: wal.TypeUpdate, Epoch: d.epoch, TxID: t.id, Key: u.Key, Val: u.Val,
+			}))
+		}
+		encoded = append(encoded, wal.AppendEncode(nil, wal.Record{
+			Type: wal.TypeCommit, Epoch: d.epoch, TxID: t.id,
+		}))
+	}
+	if err := d.flushWAL(p, encoded); err != nil {
+		return err
+	}
+	// The transaction is durable; apply to memory pages (no-force).
+	for _, u := range t.updates {
+		block := d.pageBlock(u.Key)
+		page := d.pages[block] // loaded above
+		if err := pageUpsert(page, u); err != nil {
+			// The probe above guaranteed room; this indicates a bug.
+			panic(fmt.Sprintf("db: %s: post-log upsert failed: %v", d.name, err))
+		}
+		d.dirty[block] = true
+	}
+	d.committed[t.id] = true
+	d.commits++
+	return nil
+}

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests assert the SHAPE of each experiment's result — the
+// reproduction criteria from DESIGN.md: who wins, by roughly what factor,
+// and which invariants never break.
+
+func TestE5ADCTracksBaselineSDCPaysRTT(t *testing.T) {
+	rtts := []time.Duration{2 * time.Millisecond, 20 * time.Millisecond, 100 * time.Millisecond}
+	results, err := E5Slowdown(1, rtts, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]SlowdownResult{}
+	for _, r := range results {
+		byKey[r.RTT.String()+string(r.Mode)] = r
+	}
+	for _, rtt := range rtts {
+		none := byKey[rtt.String()+string(ModeNone)]
+		adc := byKey[rtt.String()+string(ModeADC)]
+		sdc := byKey[rtt.String()+string(ModeSDC)]
+		// ADC within 2x of baseline (journal append cost only).
+		if adc.MeanOrder > 2*none.MeanOrder {
+			t.Errorf("rtt=%v: ADC %v vs baseline %v — slowdown visible", rtt, adc.MeanOrder, none.MeanOrder)
+		}
+		// SDC pays at least one RTT per commit (each order commits twice,
+		// and each commit's WAL flush crosses the link).
+		if sdc.MeanOrder < adc.MeanOrder+rtt {
+			t.Errorf("rtt=%v: SDC %v not slower than ADC %v by >= RTT", rtt, sdc.MeanOrder, adc.MeanOrder)
+		}
+	}
+	// SDC degrades with RTT; ADC does not.
+	adcSmall := byKey[rtts[0].String()+string(ModeADC)]
+	adcBig := byKey[rtts[2].String()+string(ModeADC)]
+	if adcBig.MeanOrder > adcSmall.MeanOrder*3/2 {
+		t.Errorf("ADC latency grew with RTT: %v -> %v", adcSmall.MeanOrder, adcBig.MeanOrder)
+	}
+	sdcSmall := byKey[rtts[0].String()+string(ModeSDC)]
+	sdcBig := byKey[rtts[2].String()+string(ModeSDC)]
+	if sdcBig.MeanOrder < 5*sdcSmall.MeanOrder {
+		t.Errorf("SDC latency did not scale with RTT: %v -> %v", sdcSmall.MeanOrder, sdcBig.MeanOrder)
+	}
+	t.Log("\n" + E5Table(results).String())
+}
+
+func TestE6CollapseOnlyWithoutCG(t *testing.T) {
+	const trials, orders = 12, 300
+	noCG, err := E6Collapse(100, trials, orders, ModeADCNoCG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := E6Collapse(100, trials, orders, ModeADC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Collapsed != 0 {
+		t.Errorf("consistency group collapsed %d/%d trials — must be 0", cg.Collapsed, cg.Trials)
+	}
+	if noCG.Collapsed == 0 {
+		t.Errorf("per-volume replication never collapsed in %d trials — scenario too easy", trials)
+	}
+	if cg.OrderingBroken != 0 || noCG.OrderingBroken != 0 {
+		t.Errorf("per-volume ordering broke: cg=%d nocg=%d", cg.OrderingBroken, noCG.OrderingBroken)
+	}
+	t.Log("\n" + E6Table([]CollapseResult{cg, noCG}).String())
+}
+
+func TestE7RPOGrowsAsLinkSaturates(t *testing.T) {
+	rtts := []time.Duration{10 * time.Millisecond}
+	bws := []float64{2e5, 2e6, 1e9}
+	results, err := E7RPO(1, rtts, bws, 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slow, fast RPOResult
+	for _, r := range results {
+		if r.Mode != ModeADC {
+			continue
+		}
+		switch r.Bandwidth {
+		case bws[0]:
+			slow = r
+		case bws[2]:
+			fast = r
+		}
+	}
+	if slow.MeanRPO <= fast.MeanRPO {
+		t.Errorf("RPO did not grow as bandwidth shrank: %v (slow link) vs %v (fast link)", slow.MeanRPO, fast.MeanRPO)
+	}
+	if fast.MeanRPO > 50*time.Millisecond {
+		t.Errorf("RPO on a fat link = %v, want near the RTT scale", fast.MeanRPO)
+	}
+	for _, r := range results {
+		if r.Mode == ModeSDC && (r.MeanRPO != 0 || r.MaxRPO != 0) {
+			t.Errorf("SDC RPO nonzero: %+v", r)
+		}
+	}
+	t.Log("\n" + E7Table(results).String())
+}
+
+func TestE8RecoveryGrowsWithReplayAndNeedsCG(t *testing.T) {
+	counts := []int{20, 80, 200}
+	cg, err := E8Recovery(7, counts, ModeADC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range cg {
+		if !r.BusinessIntact {
+			t.Errorf("CG recovery not intact at %d orders", r.Orders)
+		}
+	}
+	if !(cg[2].RecoveryTime > cg[0].RecoveryTime) {
+		t.Errorf("recovery time flat: %v -> %v", cg[0].RecoveryTime, cg[2].RecoveryTime)
+	}
+	noCG, err := E8Recovery(7, []int{200, 220, 240, 260}, ModeADCNoCG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := 0
+	for _, r := range noCG {
+		if !r.BusinessIntact {
+			broken++
+		}
+	}
+	if broken == 0 {
+		t.Error("no-CG recovery always intact — collapse scenario not exercised")
+	}
+	t.Log("\n" + E8Table(append(cg, noCG...)).String())
+}
+
+func TestE2OperatorConstantUserOps(t *testing.T) {
+	counts := []int{2, 8, 32}
+	results, err := E2Operator(1, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.UserOpsNSO != 1 {
+			t.Errorf("NSO ops at %d volumes = %d, want 1", r.Volumes, r.UserOpsNSO)
+		}
+		if r.UserOpsHand <= r.UserOpsNSO*4 {
+			t.Errorf("hand ops at %d volumes = %d — not meaningfully worse", r.Volumes, r.UserOpsHand)
+		}
+	}
+	if results[2].UserOpsHand <= results[0].UserOpsHand {
+		t.Error("hand operations did not grow with volume count")
+	}
+	if results[2].TimeToReady <= 0 {
+		t.Error("no time-to-ready measured")
+	}
+	t.Log("\n" + E2Table(results).String())
+}
+
+func TestE3SnapshotAtomicAndCOWProportional(t *testing.T) {
+	results, err := E3SnapshotGroup(1, []int{2, 8}, []float64{0, 0.25, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Atomic {
+			t.Errorf("group of %d not atomic", r.Volumes)
+		}
+		if r.CreateTime != 0 {
+			t.Errorf("creation consumed %v, want instantaneous COW-metadata install", r.CreateTime)
+		}
+		if !r.SnapshotReadable {
+			t.Errorf("snapshot lost originals at overwrite=%v", r.OverwriteFrac)
+		}
+		wantCOW := int(r.OverwriteFrac * 256 * float64(r.Volumes))
+		if r.COWBlocks != wantCOW {
+			t.Errorf("COW blocks = %d, want %d (first overwrite only)", r.COWBlocks, wantCOW)
+		}
+	}
+	t.Log("\n" + E3Table(results).String())
+}
+
+func TestE4AnalyticsDoNotInterfere(t *testing.T) {
+	results, err := E4Analytics(1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, with := results[0], results[1]
+	if with.OrderMean > base.OrderMean*11/10 {
+		t.Errorf("analytics slowed main-site orders: %v -> %v", base.OrderMean, with.OrderMean)
+	}
+	if base.RPOAfter != 0 || with.RPOAfter != 0 {
+		t.Errorf("RPO after catch-up: base=%v with=%v", base.RPOAfter, with.RPOAfter)
+	}
+	if with.OrdersSeen != 20 {
+		t.Errorf("analytics saw %d orders, want frozen 20", with.OrdersSeen)
+	}
+	if with.JoinUnmatched != 0 {
+		t.Errorf("join unmatched = %d", with.JoinUnmatched)
+	}
+	t.Log("\n" + E4Table(results).String())
+}
+
+func TestE1EndToEndConsistent(t *testing.T) {
+	res, err := E1EndToEnd(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AnalyticsOrders != 50 {
+		t.Errorf("analytics orders = %d, want 50", res.AnalyticsOrders)
+	}
+	if !res.Consistent || !res.FailoverIntact {
+		t.Errorf("pipeline inconsistent: %+v", res)
+	}
+	if res.FailoverTime <= 0 {
+		t.Error("failover recovery free")
+	}
+	t.Log("\n" + E1Table(res).String())
+}
+
+func TestE9BatchSweepShape(t *testing.T) {
+	results, err := E9BatchSweep(1, []int{1, 16, 256}, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Transfers <= results[2].Transfers {
+		t.Errorf("transfers did not fall with batch size: %d -> %d", results[0].Transfers, results[2].Transfers)
+	}
+	t.Log("\n" + E9BatchTable(results).String())
+}
+
+func TestE9CGScaleFlat(t *testing.T) {
+	results, err := E9CGScale(1, []int{2, 8, 32}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cg2, cg32 time.Duration
+	for _, r := range results {
+		if r.Mode == ModeADC && r.Volumes == 2 {
+			cg2 = r.MeanCommit
+		}
+		if r.Mode == ModeADC && r.Volumes == 32 {
+			cg32 = r.MeanCommit
+		}
+	}
+	if cg32 > cg2*2 {
+		t.Errorf("CG write latency grew with group size: %v -> %v", cg2, cg32)
+	}
+	t.Log("\n" + E9CGScaleTable(results).String())
+}
+
+func TestE10FailbackDeltaBeatsFullCopy(t *testing.T) {
+	results, err := E10Failback(1, []int{10, 100, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.ReverseOK {
+			t.Errorf("reverse replication broken after %d-write outage", r.OutageOrders)
+		}
+		if r.DeltaBlocks >= r.FullBlocks {
+			t.Errorf("delta %d not smaller than full copy %d", r.DeltaBlocks, r.FullBlocks)
+		}
+	}
+	if !(results[2].DeltaBlocks > results[0].DeltaBlocks) {
+		t.Errorf("delta did not grow with outage: %d -> %d", results[0].DeltaBlocks, results[2].DeltaBlocks)
+	}
+	if !(results[2].ResyncTime > results[0].ResyncTime) {
+		t.Errorf("resync time flat: %v -> %v", results[0].ResyncTime, results[2].ResyncTime)
+	}
+	t.Log("\n" + E10Table(results).String())
+}
+
+func TestE9SkewInsensitive(t *testing.T) {
+	results, err := E9SkewSweep(1, []float64{-1, 1.2, 2.0}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := results[0].MeanOrder, results[0].MeanOrder
+	for _, r := range results {
+		if r.MeanOrder < lo {
+			lo = r.MeanOrder
+		}
+		if r.MeanOrder > hi {
+			hi = r.MeanOrder
+		}
+	}
+	if hi > lo*2 {
+		t.Errorf("latency varied %v..%v across skews", lo, hi)
+	}
+	t.Log("\n" + E9SkewTable(results).String())
+}

@@ -1,0 +1,203 @@
+// Package experiments contains one harness per paper artifact (Figures 1-6
+// and the §I claims), each regenerating the corresponding result as a
+// plain-text table. DESIGN.md carries the experiment index (E1-E9) and
+// EXPERIMENTS.md the paper-vs-measured record. cmd/experiments runs them
+// all; the root bench_test.go wraps each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/netlink"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Mode selects the replication configuration under test.
+type Mode string
+
+// Replication modes compared across experiments.
+const (
+	// ModeNone is the no-replication baseline.
+	ModeNone Mode = "none"
+	// ModeADC is asynchronous data copy with a consistency group — the
+	// paper's configuration.
+	ModeADC Mode = "ADC+CG"
+	// ModeADCNoCG is asynchronous data copy with one journal per volume —
+	// the collapse-prone configuration.
+	ModeADCNoCG Mode = "ADC-noCG"
+	// ModeSDC is synchronous data copy — the related-work baseline (§V).
+	ModeSDC Mode = "SDC"
+)
+
+// rig is the hand-wired two-site testbed the quantitative experiments use:
+// it bypasses the container platform (E2 measures that separately) and
+// configures storage replication directly, so latency measurements isolate
+// the storage path.
+type rig struct {
+	env    *sim.Env
+	main   *storage.Array
+	backup *storage.Array
+	links  *netlink.Pair
+	mode   Mode
+
+	groups []*replication.Group
+	sales  *db.DB
+	stock  *db.DB
+	shop   *workload.Shop
+}
+
+// rigParams configures a rig build.
+type rigParams struct {
+	seed     int64
+	mode     Mode
+	link     netlink.Config
+	storage  storage.Config
+	repl     replication.Config
+	volBlk   int64
+	workload workload.Config
+}
+
+func (rp rigParams) withDefaults() rigParams {
+	if rp.volBlk == 0 {
+		rp.volBlk = 2048
+	}
+	if rp.link.BandwidthBps == 0 {
+		rp.link.BandwidthBps = 1e9
+	}
+	return rp
+}
+
+// newRig builds the two-site testbed and opens the databases inside a
+// bootstrap process. It returns with the simulation idle and the shop ready.
+func newRig(params rigParams) (*rig, error) {
+	params = params.withDefaults()
+	env := sim.NewEnv(params.seed)
+	r := &rig{
+		env:    env,
+		main:   storage.NewArray(env, "main", params.storage),
+		backup: storage.NewArray(env, "backup", params.storage),
+		links:  netlink.NewPair(env, params.link),
+		mode:   params.mode,
+	}
+	for _, a := range []*storage.Array{r.main, r.backup} {
+		if _, err := a.CreateVolume("sales", params.volBlk); err != nil {
+			return nil, err
+		}
+		if _, err := a.CreateVolume("stock", params.volBlk); err != nil {
+			return nil, err
+		}
+	}
+	var bootErr error
+	env.Process("bootstrap", func(p *sim.Proc) {
+		bootErr = r.bootstrap(p, params)
+	})
+	env.Run(0)
+	if bootErr != nil {
+		return nil, bootErr
+	}
+	return r, nil
+}
+
+func (r *rig) bootstrap(p *sim.Proc, params rigParams) error {
+	salesVol, _ := r.main.Volume("sales")
+	stockVol, _ := r.main.Volume("stock")
+
+	// Wire replication BEFORE opening the databases so every write —
+	// including formatting — replicates; no initial copy needed.
+	var salesW, stockW replication.BlockWriter = salesVol, stockVol
+	switch r.mode {
+	case ModeNone:
+	case ModeADC:
+		j, err := r.main.CreateConsistencyGroup("cg", []storage.VolumeID{"sales", "stock"})
+		if err != nil {
+			return err
+		}
+		g, err := replication.NewGroup(r.env, "cg", j, r.backup,
+			ident("sales", "stock"), r.links.Forward, params.repl)
+		if err != nil {
+			return err
+		}
+		g.Start()
+		r.groups = []*replication.Group{g}
+	case ModeADCNoCG:
+		// Without a consistency group each volume pair is an independent
+		// copy session: its own journal AND its own link-level session
+		// (real arrays multiplex per-pair sessions whose delays vary
+		// independently). The divergence between sessions is exactly what
+		// lets the backup collapse.
+		for _, vol := range []storage.VolumeID{"sales", "stock"} {
+			j, err := r.main.CreateConsistencyGroup("j-"+string(vol), []storage.VolumeID{vol})
+			if err != nil {
+				return err
+			}
+			session := netlink.New(r.env, params.link)
+			g, err := replication.NewGroup(r.env, "g-"+string(vol), j, r.backup,
+				ident(vol), session, params.repl)
+			if err != nil {
+				return err
+			}
+			g.Start()
+			r.groups = append(r.groups, g)
+		}
+	case ModeSDC:
+		bs, _ := r.backup.Volume("sales")
+		bk, _ := r.backup.Volume("stock")
+		salesW = replication.NewSyncVolume(salesVol, bs, r.links)
+		stockW = replication.NewSyncVolume(stockVol, bk, r.links)
+	default:
+		return fmt.Errorf("experiments: unknown mode %q", r.mode)
+	}
+
+	var err error
+	if r.sales, err = db.Open(p, "sales", salesW, db.Config{}); err != nil {
+		return err
+	}
+	if r.stock, err = db.Open(p, "stock", stockW, db.Config{}); err != nil {
+		return err
+	}
+	wcfg := params.workload
+	wcfg.Seed = params.seed
+	r.shop = workload.NewShop(r.env, r.sales, r.stock, wcfg)
+	return nil
+}
+
+// ident builds an identity volume mapping.
+func ident(vols ...storage.VolumeID) map[storage.VolumeID]storage.VolumeID {
+	m := make(map[storage.VolumeID]storage.VolumeID, len(vols))
+	for _, v := range vols {
+		m[v] = v
+	}
+	return m
+}
+
+// runOrders drives n orders to completion and returns the simulated span.
+func (r *rig) runOrders(n int) (time.Duration, error) {
+	start := r.env.Now()
+	var err error
+	r.env.Process("orders", func(p *sim.Proc) { err = r.shop.Run(p, n) })
+	r.env.Run(0)
+	return r.env.Now() - start, err
+}
+
+// catchUp drains all groups.
+func (r *rig) catchUp() {
+	r.env.Process("catchup", func(p *sim.Proc) {
+		for _, g := range r.groups {
+			g.CatchUp(p)
+		}
+	})
+	r.env.Run(0)
+}
+
+// stop halts replication drains so the environment can go idle.
+func (r *rig) stop() {
+	for _, g := range r.groups {
+		g.Stop()
+	}
+	r.env.Run(0)
+}

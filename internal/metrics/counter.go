@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Counter is a monotonically increasing event count with a helper for
+// converting to a rate over a simulated interval.
+type Counter struct {
+	n int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta (delta may not be negative).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: negative Counter.Add")
+	}
+	c.n += delta
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// RatePerSec returns the count divided by elapsed, in events per second.
+// Returns 0 when elapsed is not positive.
+func (c *Counter) RatePerSec(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.n) / elapsed.Seconds()
+}
+
+// Gauge tracks an instantaneous value along with its observed extremes.
+type Gauge struct {
+	v, max, min int64
+	set         bool
+}
+
+// Set records a new value.
+func (g *Gauge) Set(v int64) {
+	g.v = v
+	if !g.set || v > g.max {
+		g.max = v
+	}
+	if !g.set || v < g.min {
+		g.min = v
+	}
+	g.set = true
+}
+
+// Value returns the last value set.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Max returns the largest value ever set (0 if never set).
+func (g *Gauge) Max() int64 { return g.max }
+
+// Min returns the smallest value ever set (0 if never set).
+func (g *Gauge) Min() int64 { return g.min }
+
+// Series is a time-ordered sequence of (virtual time, value) points, used
+// for journal backlog and RPO traces.
+type Series struct {
+	name   string
+	points []Point
+}
+
+// Point is one sample in a Series.
+type Point struct {
+	At    time.Duration
+	Value float64
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{name: name} }
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Append records a point. Points must be appended in nondecreasing time
+// order; out-of-order appends panic because they indicate a harness bug.
+func (s *Series) Append(at time.Duration, v float64) {
+	if n := len(s.points); n > 0 && at < s.points[n-1].At {
+		panic(fmt.Sprintf("metrics: series %q time went backwards: %v < %v", s.name, at, s.points[n-1].At))
+	}
+	s.points = append(s.points, Point{At: at, Value: v})
+}
+
+// Points returns the recorded points (not a copy; callers must not mutate).
+func (s *Series) Points() []Point { return s.points }
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.points) }
+
+// Max returns the maximum value in the series, or 0 when empty.
+func (s *Series) Max() float64 {
+	var m float64
+	for i, p := range s.points {
+		if i == 0 || p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of the values, or 0 when empty.
+func (s *Series) Mean() float64 {
+	if len(s.points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.points {
+		sum += p.Value
+	}
+	return sum / float64(len(s.points))
+}
+
+// At returns the value at the latest point with time <= at, or 0 when none.
+func (s *Series) At(at time.Duration) float64 {
+	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].At > at })
+	if i == 0 {
+		return 0
+	}
+	return s.points[i-1].Value
+}

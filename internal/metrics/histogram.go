@@ -1,0 +1,131 @@
+// Package metrics provides the measurement types used by the experiment
+// harness: latency histograms with percentile queries, throughput counters,
+// and plain-text table rendering for regenerating the paper's figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram records duration samples and answers percentile queries. It
+// keeps exact samples (experiments here record at most a few hundred
+// thousand points, so exactness is cheaper than HDR bucketing and removes a
+// source of error when comparing ADC vs SDC tails).
+type Histogram struct {
+	samples []time.Duration
+	sorted  bool
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.samples))
+}
+
+// Min returns the smallest sample, or 0 when empty.
+func (h *Histogram) Min() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (h *Histogram) Max() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank on the sorted samples. It returns 0 when empty.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(h.samples) {
+		rank = len(h.samples)
+	}
+	return h.samples[rank-1]
+}
+
+// Median is Percentile(50).
+func (h *Histogram) Median() time.Duration { return h.Percentile(50) }
+
+// P99 is Percentile(99).
+func (h *Histogram) P99() time.Duration { return h.Percentile(99) }
+
+// Stddev returns the sample standard deviation, or 0 with fewer than two
+// samples.
+func (h *Histogram) Stddev() time.Duration {
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(h.sum) / float64(n)
+	var ss float64
+	for _, s := range h.samples {
+		d := float64(s) - mean
+		ss += d * d
+	}
+	return time.Duration(math.Sqrt(ss / float64(n-1)))
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.sorted = false
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
+}
+
+// Summary renders a one-line digest.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Median(), h.P99(), h.Max())
+}

@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v, want 50.5ms", got)
+	}
+	if got := h.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", got)
+	}
+	if got := h.Percentile(99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", got)
+	}
+	if got := h.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v, want 100ms", got)
+	}
+}
+
+func TestHistogramRecordAfterPercentile(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5 * time.Millisecond)
+	_ = h.Median()
+	h.Record(time.Millisecond) // must re-sort
+	if got := h.Percentile(1); got != time.Millisecond {
+		t.Fatalf("p1 = %v after late record", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	h.Record(2 * time.Millisecond)
+	if h.Min() != 2*time.Millisecond {
+		t.Fatalf("min after reset = %v", h.Min())
+	}
+}
+
+func TestHistogramPercentileMonotonic(t *testing.T) {
+	// Property: percentiles are nondecreasing in p, and bounded by min/max.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram()
+		n := rng.Intn(500) + 1
+		for i := 0; i < n; i++ {
+			h.Record(time.Duration(rng.Int63n(int64(time.Second))))
+		}
+		last := time.Duration(-1)
+		for p := 1.0; p <= 100; p += 7 {
+			v := h.Percentile(p)
+			if v < last || v < h.Min() || v > h.Max() {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramStddev(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	if h.Stddev() != 0 {
+		t.Fatal("stddev with one sample should be 0")
+	}
+	h.Record(3 * time.Millisecond)
+	// Sample stddev of {1,3}ms is sqrt(2) ms ≈ 1.414ms.
+	got := h.Stddev()
+	if got < 1410*time.Microsecond || got > 1419*time.Microsecond {
+		t.Fatalf("stddev = %v, want ~1.414ms", got)
+	}
+}
+
+func TestCounterRate(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	if got := c.RatePerSec(2 * time.Second); got != 5 {
+		t.Fatalf("rate = %v, want 5", got)
+	}
+	if got := c.RatePerSec(0); got != 0 {
+		t.Fatalf("rate at zero elapsed = %v", got)
+	}
+}
+
+func TestCounterNegativeAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestGaugeExtremes(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Set(-2)
+	g.Set(3)
+	if g.Value() != 3 || g.Max() != 5 || g.Min() != -2 {
+		t.Fatalf("gauge = %d max=%d min=%d", g.Value(), g.Max(), g.Min())
+	}
+}
+
+func TestSeriesAtAndMax(t *testing.T) {
+	s := NewSeries("backlog")
+	s.Append(time.Millisecond, 1)
+	s.Append(2*time.Millisecond, 5)
+	s.Append(4*time.Millisecond, 2)
+	if s.Max() != 5 {
+		t.Fatalf("max = %v", s.Max())
+	}
+	if got := s.At(0); got != 0 {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if got := s.At(3 * time.Millisecond); got != 5 {
+		t.Fatalf("At(3ms) = %v, want 5 (latest <= 3ms)", got)
+	}
+	if got := s.At(time.Hour); got != 2 {
+		t.Fatalf("At(1h) = %v, want 2", got)
+	}
+	if got := s.Mean(); got < 2.66 || got > 2.67 {
+		t.Fatalf("mean = %v, want 8/3", got)
+	}
+}
+
+func TestSeriesBackwardsTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewSeries("x")
+	s.Append(time.Second, 1)
+	s.Append(time.Millisecond, 2)
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E5 slowdown", "rtt", "mode", "p50")
+	tb.AddRow("1ms", "ADC", 0.5)
+	tb.AddRow("1ms", "SDC", 2.25)
+	tb.AddNote("ADC ~ baseline")
+	out := tb.String()
+	for _, want := range []string{"E5 slowdown", "rtt", "ADC", "2.250", "note: ADC ~ baseline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if len(tb.Rows()) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows()))
+	}
+}

@@ -1,0 +1,174 @@
+// Package netlink models the inter-site network connecting the main and
+// backup storage arrays: a full-duplex pipe with finite bandwidth,
+// propagation delay, optional jitter and loss (handled by retransmission),
+// and operator-induced partitions. The slowdown and RPO experiments (E5, E7)
+// are functions of this model only.
+package netlink
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Config describes one direction of a link.
+type Config struct {
+	// Propagation is the one-way signal delay (half the RTT).
+	Propagation time.Duration
+	// BandwidthBps is the serialization rate in bytes per second. Zero or
+	// negative means infinite bandwidth.
+	BandwidthBps float64
+	// Jitter adds a uniform random delay in [0, Jitter) to each transfer's
+	// propagation.
+	Jitter time.Duration
+	// LossProb is the probability a transfer attempt is lost; lost
+	// transfers are retransmitted after RetransmitTimeout.
+	LossProb float64
+	// RetransmitTimeout is the delay before a lost transfer is retried.
+	// Zero defaults to 4x the propagation delay (a TCP-ish RTO).
+	RetransmitTimeout time.Duration
+}
+
+// Link is one direction of the inter-site connection. The two directions of
+// a site pair are independent Links so request and ack traffic do not
+// contend.
+type Link struct {
+	env        *sim.Env
+	cfg        Config
+	wire       *sim.Resource // serialization: one frame on the wire at a time
+	partition  bool
+	healed     *sim.Event
+	sentBytes  int64
+	transfers  int64
+	retransmit int64
+	busy       time.Duration // cumulative serialization time, for utilization
+}
+
+// New returns a link in the connected state.
+func New(env *sim.Env, cfg Config) *Link {
+	if cfg.RetransmitTimeout <= 0 {
+		cfg.RetransmitTimeout = 4 * cfg.Propagation
+	}
+	return &Link{
+		env:    env,
+		cfg:    cfg,
+		wire:   env.NewResource(1),
+		healed: env.NewEvent(),
+	}
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// serialization returns the time size bytes occupy the wire.
+func (l *Link) serialization(size int) time.Duration {
+	if l.cfg.BandwidthBps <= 0 || size <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / l.cfg.BandwidthBps * float64(time.Second))
+}
+
+// Transfer moves size bytes across the link, blocking the calling process
+// for queueing + serialization + propagation (+ jitter, loss retries, and
+// partition outages). It returns the total time the transfer took.
+func (l *Link) Transfer(p *sim.Proc, size int) time.Duration {
+	start := p.Now()
+	for {
+		for l.partition {
+			p.Wait(l.healed)
+		}
+		l.wire.Acquire(p)
+		ser := l.serialization(size)
+		p.Sleep(ser)
+		l.busy += ser
+		l.wire.Release()
+		prop := l.cfg.Propagation
+		if l.cfg.Jitter > 0 {
+			prop += time.Duration(l.env.Rand().Int63n(int64(l.cfg.Jitter)))
+		}
+		p.Sleep(prop)
+		if l.cfg.LossProb > 0 && l.env.Rand().Float64() < l.cfg.LossProb {
+			l.retransmit++
+			p.Sleep(l.cfg.RetransmitTimeout)
+			continue
+		}
+		l.sentBytes += int64(size)
+		l.transfers++
+		return p.Now() - start
+	}
+}
+
+// Partition severs the link: subsequent Transfer calls block until Heal.
+// In-flight transfers complete (the model cuts admission, not the wire).
+func (l *Link) Partition() {
+	if l.partition {
+		return
+	}
+	l.partition = true
+	l.healed = l.env.NewEvent()
+}
+
+// Heal reconnects a partitioned link and wakes blocked senders.
+func (l *Link) Heal() {
+	if !l.partition {
+		return
+	}
+	l.partition = false
+	l.healed.Trigger()
+}
+
+// Partitioned reports whether the link is currently severed.
+func (l *Link) Partitioned() bool { return l.partition }
+
+// SentBytes returns the total payload bytes delivered.
+func (l *Link) SentBytes() int64 { return l.sentBytes }
+
+// Transfers returns the number of completed transfers.
+func (l *Link) Transfers() int64 { return l.transfers }
+
+// Retransmits returns the number of loss-induced retries.
+func (l *Link) Retransmits() int64 { return l.retransmit }
+
+// Utilization returns the fraction of elapsed time the wire was busy
+// serializing, in [0,1]. elapsed must be the simulation span of interest.
+func (l *Link) Utilization(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(l.busy) / float64(elapsed)
+}
+
+func (l *Link) String() string {
+	return fmt.Sprintf("netlink{prop=%v bw=%.0fB/s sent=%dB}", l.cfg.Propagation, l.cfg.BandwidthBps, l.sentBytes)
+}
+
+// Pair is a full-duplex site interconnect: Forward carries main→backup
+// journal traffic, Reverse carries acks and management traffic.
+type Pair struct {
+	Forward *Link
+	Reverse *Link
+}
+
+// NewPair builds both directions from one symmetric config.
+func NewPair(env *sim.Env, cfg Config) *Pair {
+	return &Pair{Forward: New(env, cfg), Reverse: New(env, cfg)}
+}
+
+// RTT returns the configured round-trip time (both propagation delays,
+// excluding serialization and jitter).
+func (pr *Pair) RTT() time.Duration {
+	return pr.Forward.cfg.Propagation + pr.Reverse.cfg.Propagation
+}
+
+// Partition severs both directions.
+func (pr *Pair) Partition() {
+	pr.Forward.Partition()
+	pr.Reverse.Partition()
+}
+
+// Heal reconnects both directions.
+func (pr *Pair) Heal() {
+	pr.Forward.Heal()
+	pr.Reverse.Heal()
+}

@@ -1,0 +1,179 @@
+package netlink
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestTransferLatencyIsSerializationPlusPropagation(t *testing.T) {
+	env := sim.NewEnv(1)
+	l := New(env, Config{Propagation: 10 * time.Millisecond, BandwidthBps: 1000})
+	var took time.Duration
+	env.Process("tx", func(p *sim.Proc) {
+		took = l.Transfer(p, 500) // 500B at 1000B/s = 500ms + 10ms prop
+	})
+	env.Run(0)
+	want := 510 * time.Millisecond
+	if took != want {
+		t.Fatalf("transfer took %v, want %v", took, want)
+	}
+	if l.SentBytes() != 500 || l.Transfers() != 1 {
+		t.Fatalf("stats: bytes=%d transfers=%d", l.SentBytes(), l.Transfers())
+	}
+}
+
+func TestInfiniteBandwidth(t *testing.T) {
+	env := sim.NewEnv(1)
+	l := New(env, Config{Propagation: 3 * time.Millisecond})
+	var took time.Duration
+	env.Process("tx", func(p *sim.Proc) { took = l.Transfer(p, 1<<30) })
+	env.Run(0)
+	if took != 3*time.Millisecond {
+		t.Fatalf("took %v, want pure propagation 3ms", took)
+	}
+}
+
+func TestBandwidthContentionSerializes(t *testing.T) {
+	env := sim.NewEnv(1)
+	l := New(env, Config{Propagation: 0, BandwidthBps: 1000})
+	var done []time.Duration
+	for i := 0; i < 3; i++ {
+		env.Process("tx", func(p *sim.Proc) {
+			l.Transfer(p, 1000) // 1s serialization each
+			done = append(done, p.Now())
+		})
+	}
+	env.Run(0)
+	if len(done) != 3 {
+		t.Fatalf("completed %d transfers", len(done))
+	}
+	want := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completion times %v, want %v", done, want)
+		}
+	}
+}
+
+func TestPropagationPipelines(t *testing.T) {
+	// With long propagation and short serialization, back-to-back transfers
+	// overlap in flight: second completion is one serialization after the
+	// first, not one full latency after.
+	env := sim.NewEnv(1)
+	l := New(env, Config{Propagation: 100 * time.Millisecond, BandwidthBps: 1e6})
+	var done []time.Duration
+	for i := 0; i < 2; i++ {
+		env.Process("tx", func(p *sim.Proc) {
+			l.Transfer(p, 1000) // 1ms serialization
+			done = append(done, p.Now())
+		})
+	}
+	env.Run(0)
+	if done[0] != 101*time.Millisecond || done[1] != 102*time.Millisecond {
+		t.Fatalf("completions %v, want [101ms 102ms]", done)
+	}
+}
+
+func TestPartitionBlocksUntilHeal(t *testing.T) {
+	env := sim.NewEnv(1)
+	l := New(env, Config{Propagation: time.Millisecond})
+	l.Partition()
+	var took time.Duration
+	env.Process("tx", func(p *sim.Proc) { took = l.Transfer(p, 10) })
+	env.Process("op", func(p *sim.Proc) {
+		p.Sleep(500 * time.Millisecond)
+		l.Heal()
+	})
+	env.Run(0)
+	if took != 501*time.Millisecond {
+		t.Fatalf("took %v, want 501ms (500ms outage + 1ms prop)", took)
+	}
+}
+
+func TestPartitionIdempotent(t *testing.T) {
+	env := sim.NewEnv(1)
+	l := New(env, Config{})
+	l.Partition()
+	l.Partition()
+	if !l.Partitioned() {
+		t.Fatal("not partitioned")
+	}
+	l.Heal()
+	l.Heal()
+	if l.Partitioned() {
+		t.Fatal("still partitioned")
+	}
+}
+
+func TestLossCausesRetransmit(t *testing.T) {
+	env := sim.NewEnv(7)
+	l := New(env, Config{
+		Propagation:       time.Millisecond,
+		LossProb:          0.5,
+		RetransmitTimeout: 10 * time.Millisecond,
+	})
+	env.Process("tx", func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			l.Transfer(p, 10)
+		}
+	})
+	env.Run(0)
+	if l.Retransmits() == 0 {
+		t.Fatal("expected some retransmits at 50% loss")
+	}
+	if l.Transfers() != 200 {
+		t.Fatalf("transfers = %d, want 200 (reliable delivery)", l.Transfers())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	env := sim.NewEnv(1)
+	l := New(env, Config{BandwidthBps: 1000})
+	env.Process("tx", func(p *sim.Proc) {
+		l.Transfer(p, 500) // busy 500ms
+		p.Sleep(500 * time.Millisecond)
+	})
+	end := env.Run(0)
+	if u := l.Utilization(end); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+	if l.Utilization(0) != 0 {
+		t.Fatal("utilization with zero elapsed should be 0")
+	}
+}
+
+func TestPairRTTAndPartition(t *testing.T) {
+	env := sim.NewEnv(1)
+	pr := NewPair(env, Config{Propagation: 5 * time.Millisecond})
+	if pr.RTT() != 10*time.Millisecond {
+		t.Fatalf("rtt = %v", pr.RTT())
+	}
+	pr.Partition()
+	if !pr.Forward.Partitioned() || !pr.Reverse.Partitioned() {
+		t.Fatal("pair partition incomplete")
+	}
+	pr.Heal()
+	if pr.Forward.Partitioned() || pr.Reverse.Partitioned() {
+		t.Fatal("pair heal incomplete")
+	}
+}
+
+func TestDeterministicJitter(t *testing.T) {
+	run := func() time.Duration {
+		env := sim.NewEnv(42)
+		l := New(env, Config{Propagation: time.Millisecond, Jitter: time.Millisecond})
+		var total time.Duration
+		env.Process("tx", func(p *sim.Proc) {
+			for i := 0; i < 50; i++ {
+				total += l.Transfer(p, 1)
+			}
+		})
+		env.Run(0)
+		return total
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("jittered runs diverged: %v vs %v", a, b)
+	}
+}

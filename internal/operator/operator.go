@@ -1,0 +1,162 @@
+// Package operator implements the namespace operator (NSO), the paper's new
+// contribution (§III-B1). The NSO watches namespaces for the backup tag:
+// when a user labels a namespace with
+//
+//	backup=ConsistentCopyToCloud
+//
+// the operator extracts every PVC in that namespace and creates a
+// ReplicationGroup custom resource with consistency grouping enabled, which
+// the replication plugin then turns into configured ADC. Removing the tag
+// deletes the CR and tears the replication down. This automation is what
+// removes the "laborious tasks to identify the related data volumes and to
+// configure the ADC" (§II): the user performs one operation regardless of
+// how many volumes the business process spans.
+package operator
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Tag is the namespace label key the operator watches.
+const Tag = "backup"
+
+// TagValue is the label value that requests consistent replication — the
+// exact string from the demonstration (Fig. 3).
+const TagValue = "ConsistentCopyToCloud"
+
+// Config tunes operator behaviour.
+type Config struct {
+	// ConsistencyGroup selects whether created ReplicationGroups request a
+	// shared journal. The production operator always does; experiment E6
+	// turns it off to demonstrate collapse.
+	ConsistencyGroup bool
+}
+
+// Operator is the namespace operator.
+type Operator struct {
+	env     *sim.Env
+	api     *platform.APIServer
+	cfg     Config
+	ctrl    *platform.Controller
+	pvcCtrl *platform.Controller
+
+	configured int64
+	removed    int64
+}
+
+// New builds the operator on the main site's API server. It watches both
+// namespaces (for the tag) and PVCs (so claims added after tagging extend
+// the replication group).
+func New(env *sim.Env, api *platform.APIServer, cfg Config) *Operator {
+	o := &Operator{env: env, api: api, cfg: cfg}
+	o.ctrl = platform.NewController(env, api, "namespace-operator", platform.KindNamespace,
+		nil, platform.ReconcilerFunc(o.reconcile), platform.ControllerConfig{})
+	o.pvcCtrl = platform.NewController(env, api, "namespace-operator-pvc", platform.KindPVC,
+		func(ev platform.Event) []platform.ObjectKey {
+			return []platform.ObjectKey{{Kind: platform.KindNamespace, Name: ev.Object.GetMeta().Namespace}}
+		}, platform.ReconcilerFunc(o.reconcile), platform.ControllerConfig{})
+	return o
+}
+
+// Start launches the operator.
+func (o *Operator) Start() {
+	o.ctrl.Start()
+	o.pvcCtrl.Start()
+}
+
+// Stop halts the operator.
+func (o *Operator) Stop() {
+	o.ctrl.Stop()
+	o.pvcCtrl.Stop()
+}
+
+// Configured returns how many ReplicationGroups the operator created.
+func (o *Operator) Configured() int64 { return o.configured }
+
+// Removed returns how many ReplicationGroups the operator deleted.
+func (o *Operator) Removed() int64 { return o.removed }
+
+// GroupNameFor returns the ReplicationGroup name the operator uses for a
+// namespace.
+func GroupNameFor(namespace string) string { return fmt.Sprintf("backup-%s", namespace) }
+
+func (o *Operator) reconcile(p *sim.Proc, key platform.ObjectKey) error {
+	groupKey := platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: GroupNameFor(key.Name)}
+	obj, err := o.api.Get(p, key)
+	if errors.Is(err, platform.ErrNotFound) {
+		// Namespace deleted: remove its replication configuration.
+		return o.ensureAbsent(p, groupKey)
+	}
+	if err != nil {
+		return err
+	}
+	ns := obj.(*platform.Namespace)
+	if ns.Labels[Tag] != TagValue {
+		return o.ensureAbsent(p, groupKey)
+	}
+
+	// Tag present: discover the namespace's PVCs — the correspondence
+	// between applications and storage volumes the operator unravels.
+	var pvcNames []string
+	for _, c := range o.api.List(p, platform.KindPVC, ns.Name) {
+		pvcNames = append(pvcNames, c.GetMeta().Name)
+	}
+	if len(pvcNames) == 0 {
+		return fmt.Errorf("operator: namespace %s tagged but has no PVCs", ns.Name)
+	}
+
+	existing, err := o.api.Get(p, groupKey)
+	if err == nil {
+		// Keep the CR's PVC list current (a new claim may have appeared).
+		rg := existing.(*platform.ReplicationGroup)
+		if equalStrings(rg.Spec.PVCNames, pvcNames) {
+			return nil
+		}
+		rg.Spec.PVCNames = pvcNames
+		return o.api.Update(p, rg)
+	}
+	if !errors.Is(err, platform.ErrNotFound) {
+		return err
+	}
+	rg := &platform.ReplicationGroup{
+		Meta: platform.Meta{Kind: platform.KindReplicationGroup, Name: groupKey.Name},
+		Spec: platform.ReplicationGroupSpec{
+			SourceNamespace:  ns.Name,
+			PVCNames:         pvcNames,
+			ConsistencyGroup: o.cfg.ConsistencyGroup,
+		},
+		Status: platform.ReplicationGroupStatus{Phase: platform.GroupPending},
+	}
+	if err := o.api.Create(p, rg); err != nil && !errors.Is(err, platform.ErrExists) {
+		return err
+	}
+	o.configured++
+	return nil
+}
+
+func (o *Operator) ensureAbsent(p *sim.Proc, groupKey platform.ObjectKey) error {
+	err := o.api.Delete(p, groupKey)
+	if errors.Is(err, platform.ErrNotFound) {
+		return nil
+	}
+	if err == nil {
+		o.removed++
+	}
+	return err
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,213 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// API errors.
+var (
+	ErrNotFound = errors.New("platform: object not found")
+	ErrExists   = errors.New("platform: object already exists")
+	ErrConflict = errors.New("platform: resource version conflict")
+)
+
+// EventType classifies watch events.
+type EventType string
+
+// Watch event types.
+const (
+	Added    EventType = "ADDED"
+	Modified EventType = "MODIFIED"
+	Deleted  EventType = "DELETED"
+)
+
+// Event is one watch notification carrying a deep copy of the object.
+type Event struct {
+	Type   EventType
+	Object Object
+}
+
+// APIConfig tunes the API server's simulated behaviour.
+type APIConfig struct {
+	// CallLatency is the simulated cost of every API call (default 500µs —
+	// a fast intra-cluster HTTP round trip).
+	CallLatency time.Duration
+}
+
+func (c APIConfig) withDefaults() APIConfig {
+	if c.CallLatency <= 0 {
+		c.CallLatency = 500 * time.Microsecond
+	}
+	return c
+}
+
+// APIServer is the platform's object store: create/update/get/list/delete
+// with optimistic concurrency plus watches.
+type APIServer struct {
+	env     *sim.Env
+	cfg     APIConfig
+	objects map[ObjectKey]Object
+	rv      int64
+	watches []*Watch
+	calls   int64
+}
+
+// NewAPIServer returns an empty store.
+func NewAPIServer(env *sim.Env, cfg APIConfig) *APIServer {
+	return &APIServer{
+		env:     env,
+		cfg:     cfg.withDefaults(),
+		objects: make(map[ObjectKey]Object),
+	}
+}
+
+// Calls returns the number of API calls served (the operator-automation
+// experiment counts operations through this).
+func (s *APIServer) Calls() int64 { return s.calls }
+
+func (s *APIServer) charge(p *sim.Proc) {
+	s.calls++
+	p.Sleep(s.cfg.CallLatency)
+}
+
+// Create stores a new object, assigning its first resource version.
+func (s *APIServer) Create(p *sim.Proc, obj Object) error {
+	s.charge(p)
+	m := obj.GetMeta()
+	key := m.Key()
+	if key.Name == "" || key.Kind == "" {
+		return fmt.Errorf("platform: object needs kind and name")
+	}
+	if _, ok := s.objects[key]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, key)
+	}
+	s.rv++
+	m.ResourceVersion = s.rv
+	m.CreatedAt = s.env.Now()
+	stored := obj.DeepCopy()
+	s.objects[key] = stored
+	s.notify(Event{Type: Added, Object: stored.DeepCopy()})
+	return nil
+}
+
+// Update replaces an object; the caller's copy must carry the current
+// resource version or the update fails with ErrConflict.
+func (s *APIServer) Update(p *sim.Proc, obj Object) error {
+	s.charge(p)
+	key := obj.GetMeta().Key()
+	cur, ok := s.objects[key]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if cur.GetMeta().ResourceVersion != obj.GetMeta().ResourceVersion {
+		return fmt.Errorf("%w: %s (have %d, store %d)", ErrConflict, key,
+			obj.GetMeta().ResourceVersion, cur.GetMeta().ResourceVersion)
+	}
+	s.rv++
+	obj.GetMeta().ResourceVersion = s.rv
+	obj.GetMeta().CreatedAt = cur.GetMeta().CreatedAt
+	stored := obj.DeepCopy()
+	s.objects[key] = stored
+	s.notify(Event{Type: Modified, Object: stored.DeepCopy()})
+	return nil
+}
+
+// Get returns a deep copy of the object.
+func (s *APIServer) Get(p *sim.Proc, key ObjectKey) (Object, error) {
+	s.charge(p)
+	cur, ok := s.objects[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return cur.DeepCopy(), nil
+}
+
+// List returns deep copies of all objects of a kind, optionally restricted
+// to a namespace (empty string = all), sorted by key for determinism.
+func (s *APIServer) List(p *sim.Proc, kind Kind, namespace string) []Object {
+	s.charge(p)
+	var keys []ObjectKey
+	for k := range s.objects {
+		if k.Kind != kind {
+			continue
+		}
+		if namespace != "" && k.Namespace != namespace {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Namespace != keys[j].Namespace {
+			return keys[i].Namespace < keys[j].Namespace
+		}
+		return keys[i].Name < keys[j].Name
+	})
+	out := make([]Object, len(keys))
+	for i, k := range keys {
+		out[i] = s.objects[k].DeepCopy()
+	}
+	return out
+}
+
+// Delete removes the object.
+func (s *APIServer) Delete(p *sim.Proc, key ObjectKey) error {
+	s.charge(p)
+	cur, ok := s.objects[key]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	delete(s.objects, key)
+	s.notify(Event{Type: Deleted, Object: cur.DeepCopy()})
+	return nil
+}
+
+// notify fans an event out to matching watches.
+func (s *APIServer) notify(ev Event) {
+	for _, w := range s.watches {
+		if w.stopped {
+			continue
+		}
+		if w.kind != ev.Object.GetMeta().Kind {
+			continue
+		}
+		w.ch.Put(ev)
+	}
+}
+
+// Watch streams events for one kind. Events carry deep copies; the watch
+// starts empty (list first for existing state, the standard contract).
+type Watch struct {
+	kind    Kind
+	ch      *sim.Chan
+	stopped bool
+}
+
+// Watch registers a new watch for the kind.
+func (s *APIServer) Watch(kind Kind) *Watch {
+	w := &Watch{kind: kind, ch: s.env.NewChan()}
+	s.watches = append(s.watches, w)
+	return w
+}
+
+// Next blocks until an event arrives.
+func (w *Watch) Next(p *sim.Proc) Event { return w.ch.Get(p).(Event) }
+
+// NextTimeout is Next with a deadline; ok is false on timeout.
+func (w *Watch) NextTimeout(p *sim.Proc, d time.Duration) (Event, bool) {
+	v, ok := w.ch.GetTimeout(p, d)
+	if !ok {
+		return Event{}, false
+	}
+	return v.(Event), true
+}
+
+// Pending returns the number of undelivered events.
+func (w *Watch) Pending() int { return w.ch.Len() }
+
+// Stop detaches the watch; buffered events remain readable.
+func (w *Watch) Stop() { w.stopped = true }

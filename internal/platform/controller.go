@@ -1,0 +1,166 @@
+package platform
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Reconciler is the level-triggered reconcile hook: bring the world to the
+// state the object (named by key) declares. It must be idempotent; the
+// controller retries on error with backoff.
+type Reconciler interface {
+	Reconcile(p *sim.Proc, key ObjectKey) error
+}
+
+// ReconcilerFunc adapts a function to the Reconciler interface.
+type ReconcilerFunc func(p *sim.Proc, key ObjectKey) error
+
+// Reconcile calls f.
+func (f ReconcilerFunc) Reconcile(p *sim.Proc, key ObjectKey) error { return f(p, key) }
+
+// ControllerConfig tunes retry behaviour.
+type ControllerConfig struct {
+	// RetryDelay is the requeue delay after a reconcile error
+	// (default 10ms, doubling per consecutive failure up to MaxRetryDelay).
+	RetryDelay time.Duration
+	// MaxRetryDelay caps the backoff (default 1s).
+	MaxRetryDelay time.Duration
+}
+
+func (c ControllerConfig) withDefaults() ControllerConfig {
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = 10 * time.Millisecond
+	}
+	if c.MaxRetryDelay <= 0 {
+		c.MaxRetryDelay = time.Second
+	}
+	return c
+}
+
+// Controller watches one kind and funnels object keys through a
+// deduplicating work queue into a reconciler — the operator-SDK pattern the
+// namespace operator is built with (§III-B1).
+type Controller struct {
+	name    string
+	env     *sim.Env
+	api     *APIServer
+	kind    Kind
+	mapFn   func(Event) []ObjectKey
+	rec     Reconciler
+	cfg     ControllerConfig
+	queue   []ObjectKey
+	queued  map[ObjectKey]bool
+	wake    *sim.Event
+	stop    *sim.Event
+	stopped bool
+	fails   map[ObjectKey]int
+
+	reconciles int64
+	errors     int64
+}
+
+// NewController builds a controller for kind on the API server. mapFn
+// converts each watch event into reconcile keys; nil maps events to their
+// own object key.
+func NewController(env *sim.Env, api *APIServer, name string, kind Kind,
+	mapFn func(Event) []ObjectKey, rec Reconciler, cfg ControllerConfig) *Controller {
+	if mapFn == nil {
+		mapFn = func(ev Event) []ObjectKey { return []ObjectKey{ev.Object.GetMeta().Key()} }
+	}
+	return &Controller{
+		name:   name,
+		env:    env,
+		api:    api,
+		kind:   kind,
+		mapFn:  mapFn,
+		rec:    rec,
+		cfg:    cfg.withDefaults(),
+		queued: make(map[ObjectKey]bool),
+		wake:   env.NewEvent(),
+		stop:   env.NewEvent(),
+		fails:  make(map[ObjectKey]int),
+	}
+}
+
+// Enqueue adds a key to the work queue (deduplicated while pending).
+func (c *Controller) Enqueue(key ObjectKey) {
+	if c.queued[key] {
+		return
+	}
+	c.queued[key] = true
+	c.queue = append(c.queue, key)
+	if !c.wake.Triggered() {
+		c.wake.Trigger()
+	}
+}
+
+// Start launches the watch pump and the worker.
+func (c *Controller) Start() {
+	w := c.api.Watch(c.kind)
+	c.env.Process(c.name+":watch", func(p *sim.Proc) {
+		for {
+			for w.Pending() == 0 {
+				if p.WaitAny(watchAvail(w), c.stop) == 1 {
+					return
+				}
+			}
+			ev := w.Next(p)
+			for _, key := range c.mapFn(ev) {
+				c.Enqueue(key)
+			}
+		}
+	})
+	c.env.Process(c.name+":worker", func(p *sim.Proc) {
+		for {
+			for len(c.queue) == 0 {
+				if c.wake.Triggered() {
+					c.wake = c.env.NewEvent()
+				}
+				if p.WaitAny(c.wake, c.stop) == 1 {
+					return
+				}
+			}
+			key := c.queue[0]
+			c.queue = c.queue[1:]
+			delete(c.queued, key)
+			c.reconciles++
+			if err := c.rec.Reconcile(p, key); err != nil {
+				c.errors++
+				c.fails[key]++
+				delay := c.cfg.RetryDelay << uint(c.fails[key]-1)
+				if delay > c.cfg.MaxRetryDelay || delay <= 0 {
+					delay = c.cfg.MaxRetryDelay
+				}
+				// Requeue after backoff without blocking the worker.
+				k := key
+				c.env.ProcessAt(c.name+":retry", p.Now()+delay, func(*sim.Proc) {
+					if !c.stopped {
+						c.Enqueue(k)
+					}
+				})
+				continue
+			}
+			delete(c.fails, key)
+		}
+	})
+}
+
+// Stop halts the controller's processes.
+func (c *Controller) Stop() {
+	c.stopped = true
+	c.stop.Trigger()
+}
+
+// Reconciles returns the number of reconcile invocations.
+func (c *Controller) Reconciles() int64 { return c.reconciles }
+
+// Errors returns the number of reconcile errors.
+func (c *Controller) Errors() int64 { return c.errors }
+
+// QueueLen returns the number of keys waiting.
+func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// watchAvail adapts a Watch's availability to an event WaitAny can select
+// on: it returns an event that triggers when the watch has pending items.
+func watchAvail(w *Watch) *sim.Event { return w.ch.Avail() }

@@ -1,0 +1,299 @@
+// Package platform is the miniature container platform (OpenShift
+// stand-in) the demonstration runs on: a typed object store with
+// resource-version concurrency and watches, the persistent-volume object
+// model (StorageClass / PVC / PV), the custom resources the storage and
+// replication plugins reconcile, and a small controller runtime with a
+// deduplicating work queue.
+package platform
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Kind identifies an object type.
+type Kind string
+
+// Built-in and custom resource kinds.
+const (
+	KindNamespace           Kind = "Namespace"
+	KindStorageClass        Kind = "StorageClass"
+	KindPVC                 Kind = "PersistentVolumeClaim"
+	KindPV                  Kind = "PersistentVolume"
+	KindReplicationGroup    Kind = "ReplicationGroup"
+	KindVolumeSnapshot      Kind = "VolumeSnapshot"
+	KindVolumeGroupSnapshot Kind = "VolumeGroupSnapshot"
+)
+
+// Meta is the common object metadata.
+type Meta struct {
+	Kind            Kind
+	Namespace       string // "" for cluster-scoped kinds
+	Name            string
+	Labels          map[string]string
+	ResourceVersion int64
+	CreatedAt       time.Duration
+}
+
+// Key returns the store key ("namespace/name" or "name").
+func (m Meta) Key() ObjectKey { return ObjectKey{Kind: m.Kind, Namespace: m.Namespace, Name: m.Name} }
+
+func copyLabels(in map[string]string) map[string]string {
+	if in == nil {
+		return nil
+	}
+	out := make(map[string]string, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// ObjectKey names one object.
+type ObjectKey struct {
+	Kind      Kind
+	Namespace string
+	Name      string
+}
+
+func (k ObjectKey) String() string {
+	if k.Namespace == "" {
+		return fmt.Sprintf("%s/%s", k.Kind, k.Name)
+	}
+	return fmt.Sprintf("%s/%s/%s", k.Kind, k.Namespace, k.Name)
+}
+
+// Object is any API object.
+type Object interface {
+	GetMeta() *Meta
+	DeepCopy() Object
+}
+
+// Namespace partitions the application environment (§II).
+type Namespace struct {
+	Meta
+}
+
+// GetMeta returns the object metadata.
+func (n *Namespace) GetMeta() *Meta { return &n.Meta }
+
+// DeepCopy returns an independent copy.
+func (n *Namespace) DeepCopy() Object {
+	c := *n
+	c.Labels = copyLabels(n.Labels)
+	return &c
+}
+
+// StorageClass names a provisioner for dynamic volume provisioning.
+type StorageClass struct {
+	Meta
+	Provisioner string
+	// ArrayName routes provisioning to a specific storage array.
+	ArrayName string
+}
+
+// GetMeta returns the object metadata.
+func (s *StorageClass) GetMeta() *Meta { return &s.Meta }
+
+// DeepCopy returns an independent copy.
+func (s *StorageClass) DeepCopy() Object {
+	c := *s
+	c.Labels = copyLabels(s.Labels)
+	return &c
+}
+
+// ClaimPhase is a PVC lifecycle phase.
+type ClaimPhase string
+
+// PVC phases.
+const (
+	ClaimPending ClaimPhase = "Pending"
+	ClaimBound   ClaimPhase = "Bound"
+)
+
+// PersistentVolumeClaim requests storage for an application.
+type PersistentVolumeClaim struct {
+	Meta
+	Spec   PVCSpec
+	Status PVCStatus
+}
+
+// PVCSpec is the user-facing request.
+type PVCSpec struct {
+	StorageClassName string
+	SizeBlocks       int64
+}
+
+// PVCStatus is filled by the storage plugin.
+type PVCStatus struct {
+	Phase      ClaimPhase
+	VolumeName string // bound PV name
+}
+
+// GetMeta returns the object metadata.
+func (c *PersistentVolumeClaim) GetMeta() *Meta { return &c.Meta }
+
+// DeepCopy returns an independent copy.
+func (c *PersistentVolumeClaim) DeepCopy() Object {
+	cp := *c
+	cp.Labels = copyLabels(c.Labels)
+	return &cp
+}
+
+// VolumePhase is a PV lifecycle phase.
+type VolumePhase string
+
+// PV phases.
+const (
+	VolumeAvailable VolumePhase = "Available"
+	VolumeBound     VolumePhase = "Bound"
+)
+
+// PersistentVolume records one provisioned array volume.
+type PersistentVolume struct {
+	Meta
+	Spec   PVSpec
+	Status PVStatus
+}
+
+// PVSpec ties the PV to the array volume backing it.
+type PVSpec struct {
+	ArrayName  string
+	VolumeID   storage.VolumeID
+	SizeBlocks int64
+}
+
+// PVStatus tracks binding.
+type PVStatus struct {
+	Phase     VolumePhase
+	ClaimRef  ObjectKey // bound PVC
+	ClaimName string
+}
+
+// GetMeta returns the object metadata.
+func (v *PersistentVolume) GetMeta() *Meta { return &v.Meta }
+
+// DeepCopy returns an independent copy.
+func (v *PersistentVolume) DeepCopy() Object {
+	cp := *v
+	cp.Labels = copyLabels(v.Labels)
+	return &cp
+}
+
+// GroupPhase is a ReplicationGroup lifecycle phase.
+type GroupPhase string
+
+// ReplicationGroup phases.
+const (
+	GroupPending GroupPhase = "Pending"
+	GroupSyncing GroupPhase = "Syncing"
+	GroupReady   GroupPhase = "Ready"
+	GroupFailed  GroupPhase = "Failed"
+)
+
+// ReplicationGroup is the custom resource the namespace operator creates
+// and the replication plugin reconciles: "replicate these PVCs to the
+// backup site as one consistency group".
+type ReplicationGroup struct {
+	Meta
+	Spec   ReplicationGroupSpec
+	Status ReplicationGroupStatus
+}
+
+// ReplicationGroupSpec lists the volumes of one business process.
+type ReplicationGroupSpec struct {
+	// SourceNamespace is the namespace whose PVCs replicate.
+	SourceNamespace string
+	// PVCNames are the claims to replicate, in discovery order.
+	PVCNames []string
+	// ConsistencyGroup selects the shared-journal mode; false degrades to
+	// one journal per volume (the E6 ablation).
+	ConsistencyGroup bool
+}
+
+// ReplicationGroupStatus is filled by the replication plugin.
+type ReplicationGroupStatus struct {
+	Phase     GroupPhase
+	JournalID string
+	// JournalIDs lists per-volume journals when ConsistencyGroup is false.
+	JournalIDs []string
+	Message    string
+}
+
+// GetMeta returns the object metadata.
+func (g *ReplicationGroup) GetMeta() *Meta { return &g.Meta }
+
+// DeepCopy returns an independent copy.
+func (g *ReplicationGroup) DeepCopy() Object {
+	cp := *g
+	cp.Labels = copyLabels(g.Labels)
+	cp.Spec.PVCNames = append([]string(nil), g.Spec.PVCNames...)
+	cp.Status.JournalIDs = append([]string(nil), g.Status.JournalIDs...)
+	return &cp
+}
+
+// VolumeSnapshot requests a point-in-time copy of one PVC's volume.
+type VolumeSnapshot struct {
+	Meta
+	Spec   VolumeSnapshotSpec
+	Status VolumeSnapshotStatus
+}
+
+// VolumeSnapshotSpec names the source claim.
+type VolumeSnapshotSpec struct {
+	PVCName string
+}
+
+// VolumeSnapshotStatus is filled by the snapshot controller.
+type VolumeSnapshotStatus struct {
+	Ready      bool
+	SnapshotID string
+	Message    string
+}
+
+// GetMeta returns the object metadata.
+func (s *VolumeSnapshot) GetMeta() *Meta { return &s.Meta }
+
+// DeepCopy returns an independent copy.
+func (s *VolumeSnapshot) DeepCopy() Object {
+	cp := *s
+	cp.Labels = copyLabels(s.Labels)
+	return &cp
+}
+
+// VolumeGroupSnapshot requests an atomic snapshot of several PVCs — the CSI
+// alpha feature (§II). When the feature gate is off, the controller refuses
+// it and users must operate the storage array directly, exactly as the
+// paper describes.
+type VolumeGroupSnapshot struct {
+	Meta
+	Spec   VolumeGroupSnapshotSpec
+	Status VolumeGroupSnapshotStatus
+}
+
+// VolumeGroupSnapshotSpec names the source claims.
+type VolumeGroupSnapshotSpec struct {
+	PVCNames []string
+}
+
+// VolumeGroupSnapshotStatus is filled by the snapshot controller.
+type VolumeGroupSnapshotStatus struct {
+	Ready       bool
+	GroupName   string
+	SnapshotIDs []string
+	Message     string
+}
+
+// GetMeta returns the object metadata.
+func (s *VolumeGroupSnapshot) GetMeta() *Meta { return &s.Meta }
+
+// DeepCopy returns an independent copy.
+func (s *VolumeGroupSnapshot) DeepCopy() Object {
+	cp := *s
+	cp.Labels = copyLabels(s.Labels)
+	cp.Spec.PVCNames = append([]string(nil), s.Spec.PVCNames...)
+	cp.Status.SnapshotIDs = append([]string(nil), s.Status.SnapshotIDs...)
+	return &cp
+}

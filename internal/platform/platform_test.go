@@ -1,0 +1,334 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func run(t *testing.T, fn func(p *sim.Proc, env *sim.Env, api *APIServer)) *sim.Env {
+	t.Helper()
+	env := sim.NewEnv(1)
+	api := NewAPIServer(env, APIConfig{})
+	env.Process("test", func(p *sim.Proc) { fn(p, env, api) })
+	env.Run(0)
+	return env
+}
+
+func pvc(ns, name, class string, size int64) *PersistentVolumeClaim {
+	return &PersistentVolumeClaim{
+		Meta: Meta{Kind: KindPVC, Namespace: ns, Name: name},
+		Spec: PVCSpec{StorageClassName: class, SizeBlocks: size},
+	}
+}
+
+func TestCreateGetRoundTrip(t *testing.T) {
+	run(t, func(p *sim.Proc, env *sim.Env, api *APIServer) {
+		if err := api.Create(p, pvc("shop", "sales", "fast", 100)); err != nil {
+			t.Fatal(err)
+		}
+		obj, err := api.Get(p, ObjectKey{Kind: KindPVC, Namespace: "shop", Name: "sales"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := obj.(*PersistentVolumeClaim)
+		if got.Spec.StorageClassName != "fast" || got.Spec.SizeBlocks != 100 {
+			t.Fatalf("spec = %+v", got.Spec)
+		}
+		if got.ResourceVersion == 0 {
+			t.Fatal("no resource version assigned")
+		}
+	})
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	run(t, func(p *sim.Proc, env *sim.Env, api *APIServer) {
+		api.Create(p, pvc("shop", "sales", "fast", 100))
+		if err := api.Create(p, pvc("shop", "sales", "fast", 100)); !errors.Is(err, ErrExists) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestCreateValidation(t *testing.T) {
+	run(t, func(p *sim.Proc, env *sim.Env, api *APIServer) {
+		if err := api.Create(p, &Namespace{}); err == nil {
+			t.Fatal("nameless object accepted")
+		}
+	})
+}
+
+func TestGetReturnsDeepCopy(t *testing.T) {
+	run(t, func(p *sim.Proc, env *sim.Env, api *APIServer) {
+		api.Create(p, pvc("shop", "sales", "fast", 100))
+		key := ObjectKey{Kind: KindPVC, Namespace: "shop", Name: "sales"}
+		a, _ := api.Get(p, key)
+		a.(*PersistentVolumeClaim).Spec.SizeBlocks = 999 // mutate the copy
+		b, _ := api.Get(p, key)
+		if b.(*PersistentVolumeClaim).Spec.SizeBlocks != 100 {
+			t.Fatal("store aliased the returned object")
+		}
+	})
+}
+
+func TestUpdateConflictOnStaleRV(t *testing.T) {
+	run(t, func(p *sim.Proc, env *sim.Env, api *APIServer) {
+		api.Create(p, pvc("shop", "sales", "fast", 100))
+		key := ObjectKey{Kind: KindPVC, Namespace: "shop", Name: "sales"}
+		a, _ := api.Get(p, key)
+		b, _ := api.Get(p, key)
+		a.(*PersistentVolumeClaim).Status.Phase = ClaimBound
+		if err := api.Update(p, a); err != nil {
+			t.Fatal(err)
+		}
+		b.(*PersistentVolumeClaim).Status.Phase = ClaimPending
+		if err := api.Update(p, b); !errors.Is(err, ErrConflict) {
+			t.Fatalf("stale update: %v", err)
+		}
+	})
+}
+
+func TestUpdateMissingObject(t *testing.T) {
+	run(t, func(p *sim.Proc, env *sim.Env, api *APIServer) {
+		if err := api.Update(p, pvc("shop", "ghost", "fast", 1)); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestListFiltersByKindAndNamespace(t *testing.T) {
+	run(t, func(p *sim.Proc, env *sim.Env, api *APIServer) {
+		api.Create(p, pvc("shop", "sales", "fast", 1))
+		api.Create(p, pvc("shop", "stock", "fast", 1))
+		api.Create(p, pvc("other", "x", "fast", 1))
+		api.Create(p, &Namespace{Meta: Meta{Kind: KindNamespace, Name: "shop"}})
+		got := api.List(p, KindPVC, "shop")
+		if len(got) != 2 {
+			t.Fatalf("list = %d objects", len(got))
+		}
+		// Sorted by name.
+		if got[0].GetMeta().Name != "sales" || got[1].GetMeta().Name != "stock" {
+			t.Fatalf("order: %s, %s", got[0].GetMeta().Name, got[1].GetMeta().Name)
+		}
+		if all := api.List(p, KindPVC, ""); len(all) != 3 {
+			t.Fatalf("all PVCs = %d", len(all))
+		}
+	})
+}
+
+func TestDeleteAndNotFound(t *testing.T) {
+	run(t, func(p *sim.Proc, env *sim.Env, api *APIServer) {
+		api.Create(p, pvc("shop", "sales", "fast", 1))
+		key := ObjectKey{Kind: KindPVC, Namespace: "shop", Name: "sales"}
+		if err := api.Delete(p, key); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := api.Get(p, key); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("get after delete: %v", err)
+		}
+		if err := api.Delete(p, key); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("double delete: %v", err)
+		}
+	})
+}
+
+func TestWatchDeliversLifecycle(t *testing.T) {
+	env := sim.NewEnv(1)
+	api := NewAPIServer(env, APIConfig{})
+	w := api.Watch(KindPVC)
+	var events []EventType
+	env.Process("watcher", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			events = append(events, w.Next(p).Type)
+		}
+	})
+	env.Process("driver", func(p *sim.Proc) {
+		api.Create(p, pvc("shop", "sales", "fast", 1))
+		key := ObjectKey{Kind: KindPVC, Namespace: "shop", Name: "sales"}
+		obj, _ := api.Get(p, key)
+		obj.(*PersistentVolumeClaim).Status.Phase = ClaimBound
+		api.Update(p, obj)
+		api.Delete(p, key)
+	})
+	env.Run(0)
+	want := []EventType{Added, Modified, Deleted}
+	if len(events) != 3 {
+		t.Fatalf("events = %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+func TestWatchFiltersKind(t *testing.T) {
+	env := sim.NewEnv(1)
+	api := NewAPIServer(env, APIConfig{})
+	w := api.Watch(KindNamespace)
+	env.Process("driver", func(p *sim.Proc) {
+		api.Create(p, pvc("shop", "sales", "fast", 1))
+		api.Create(p, &Namespace{Meta: Meta{Kind: KindNamespace, Name: "shop"}})
+	})
+	env.Run(0)
+	if w.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (namespace only)", w.Pending())
+	}
+}
+
+func TestWatchEventCarriesCopy(t *testing.T) {
+	env := sim.NewEnv(1)
+	api := NewAPIServer(env, APIConfig{})
+	w := api.Watch(KindPVC)
+	env.Process("driver", func(p *sim.Proc) {
+		api.Create(p, pvc("shop", "sales", "fast", 100))
+	})
+	env.Run(0)
+	var got *PersistentVolumeClaim
+	env.Process("watcher", func(p *sim.Proc) {
+		got = w.Next(p).Object.(*PersistentVolumeClaim)
+	})
+	env.Run(0)
+	got.Spec.SizeBlocks = 1
+	env.Process("check", func(p *sim.Proc) {
+		cur, _ := api.Get(p, ObjectKey{Kind: KindPVC, Namespace: "shop", Name: "sales"})
+		if cur.(*PersistentVolumeClaim).Spec.SizeBlocks != 100 {
+			t.Error("watch event aliased store object")
+		}
+	})
+	env.Run(0)
+}
+
+func TestAPICallsConsumeTimeAndCount(t *testing.T) {
+	env := sim.NewEnv(1)
+	api := NewAPIServer(env, APIConfig{CallLatency: time.Millisecond})
+	env.Process("driver", func(p *sim.Proc) {
+		api.Create(p, pvc("shop", "sales", "fast", 1))
+		api.List(p, KindPVC, "")
+	})
+	end := env.Run(0)
+	if end != 2*time.Millisecond {
+		t.Fatalf("2 calls took %v, want 2ms", end)
+	}
+	if api.Calls() != 2 {
+		t.Fatalf("calls = %d", api.Calls())
+	}
+}
+
+// countingReconciler tracks reconciled keys and can fail N times per key.
+type countingReconciler struct {
+	seen      map[ObjectKey]int
+	failTimes int
+}
+
+func (r *countingReconciler) Reconcile(p *sim.Proc, key ObjectKey) error {
+	if r.seen == nil {
+		r.seen = make(map[ObjectKey]int)
+	}
+	r.seen[key]++
+	if r.seen[key] <= r.failTimes {
+		return errors.New("transient")
+	}
+	return nil
+}
+
+func TestControllerReconcilesOnEvents(t *testing.T) {
+	env := sim.NewEnv(1)
+	api := NewAPIServer(env, APIConfig{})
+	rec := &countingReconciler{}
+	c := NewController(env, api, "test", KindPVC, nil, rec, ControllerConfig{})
+	c.Start()
+	env.Process("driver", func(p *sim.Proc) {
+		api.Create(p, pvc("shop", "sales", "fast", 1))
+		api.Create(p, pvc("shop", "stock", "fast", 1))
+	})
+	env.Run(time.Second)
+	c.Stop()
+	env.Run(0)
+	if len(rec.seen) != 2 {
+		t.Fatalf("reconciled %d keys, want 2", len(rec.seen))
+	}
+	if c.Reconciles() != 2 || c.Errors() != 0 {
+		t.Fatalf("reconciles=%d errors=%d", c.Reconciles(), c.Errors())
+	}
+}
+
+func TestControllerRetriesWithBackoff(t *testing.T) {
+	env := sim.NewEnv(1)
+	api := NewAPIServer(env, APIConfig{})
+	rec := &countingReconciler{failTimes: 3}
+	c := NewController(env, api, "test", KindPVC, nil, rec,
+		ControllerConfig{RetryDelay: 5 * time.Millisecond})
+	c.Start()
+	env.Process("driver", func(p *sim.Proc) {
+		api.Create(p, pvc("shop", "sales", "fast", 1))
+	})
+	env.Run(time.Second)
+	c.Stop()
+	env.Run(0)
+	key := ObjectKey{Kind: KindPVC, Namespace: "shop", Name: "sales"}
+	if rec.seen[key] != 4 { // 3 failures + 1 success
+		t.Fatalf("attempts = %d, want 4", rec.seen[key])
+	}
+	if c.Errors() != 3 {
+		t.Fatalf("errors = %d", c.Errors())
+	}
+}
+
+func TestControllerDeduplicatesQueue(t *testing.T) {
+	env := sim.NewEnv(1)
+	api := NewAPIServer(env, APIConfig{})
+	rec := &countingReconciler{}
+	c := NewController(env, api, "test", KindPVC, nil, rec, ControllerConfig{})
+	key := ObjectKey{Kind: KindPVC, Namespace: "shop", Name: "sales"}
+	for i := 0; i < 10; i++ {
+		c.Enqueue(key)
+	}
+	if c.QueueLen() != 1 {
+		t.Fatalf("queue = %d, want deduped 1", c.QueueLen())
+	}
+	c.Start()
+	env.Run(time.Second)
+	c.Stop()
+	env.Run(0)
+	if rec.seen[key] != 1 {
+		t.Fatalf("reconciled %d times, want 1", rec.seen[key])
+	}
+}
+
+func TestControllerCustomMapFn(t *testing.T) {
+	env := sim.NewEnv(1)
+	api := NewAPIServer(env, APIConfig{})
+	rec := &countingReconciler{}
+	// Map namespace events to a ReplicationGroup key — the NSO pattern.
+	mapFn := func(ev Event) []ObjectKey {
+		return []ObjectKey{{Kind: KindReplicationGroup, Name: ev.Object.GetMeta().Name}}
+	}
+	c := NewController(env, api, "nso", KindNamespace, mapFn, rec, ControllerConfig{})
+	c.Start()
+	env.Process("driver", func(p *sim.Proc) {
+		api.Create(p, &Namespace{Meta: Meta{Kind: KindNamespace, Name: "shop"}})
+	})
+	env.Run(time.Second)
+	c.Stop()
+	env.Run(0)
+	want := ObjectKey{Kind: KindReplicationGroup, Name: "shop"}
+	if rec.seen[want] != 1 {
+		t.Fatalf("seen = %v", rec.seen)
+	}
+}
+
+func TestDeepCopyIndependence(t *testing.T) {
+	g := &ReplicationGroup{
+		Meta: Meta{Kind: KindReplicationGroup, Name: "g", Labels: map[string]string{"a": "1"}},
+		Spec: ReplicationGroupSpec{PVCNames: []string{"sales", "stock"}},
+	}
+	c := g.DeepCopy().(*ReplicationGroup)
+	c.Labels["a"] = "2"
+	c.Spec.PVCNames[0] = "mutated"
+	if g.Labels["a"] != "1" || g.Spec.PVCNames[0] != "sales" {
+		t.Fatal("DeepCopy shares storage")
+	}
+}

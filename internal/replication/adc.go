@@ -1,0 +1,349 @@
+// Package replication implements the paper's remote-copy engines:
+//
+//   - Group — asynchronous data copy (ADC, §III-A1): a drain process moves
+//     journal records across the inter-site link in batches and applies them
+//     at the backup array strictly in journal-sequence order. When the
+//     journal is a consistency group's shared journal, cross-volume ordering
+//     is preserved; with one Group per volume it is not (the configuration
+//     experiment E6 shows collapses).
+//   - SyncVolume — synchronous data copy (SDC, §V baseline): every write
+//     waits for the remote apply and the returning ack, putting the link RTT
+//     on the business-processing path.
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/netlink"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// ErrStopped is returned by operations on a stopped replication group.
+var ErrStopped = errors.New("replication: group stopped")
+
+// Config tunes the ADC drain.
+type Config struct {
+	// BatchMax is the largest number of journal records moved per link
+	// transfer (default 64). E9 sweeps it.
+	BatchMax int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchMax <= 0 {
+		c.BatchMax = 64
+	}
+	return c
+}
+
+// Group replicates one source journal to target volumes asynchronously.
+type Group struct {
+	env     *sim.Env
+	name    string
+	journal *storage.Journal
+	target  *storage.Array
+	mapping map[storage.VolumeID]storage.VolumeID
+	link    *netlink.Link
+	cfg     Config
+
+	stopEv   *sim.Event
+	stopped  bool
+	caughtUp *sim.Event
+	inflight int
+
+	appliedSeq     int64
+	appliedRecords int64
+	appliedBytes   int64
+	lastAppliedAck time.Duration
+	applyLog       []storage.Record // applied at target, for verification
+	lost           []storage.Record // abandoned in flight by Stop (disaster split)
+	failedOver     bool
+	drainProc      *sim.Proc
+}
+
+// NewGroup wires a source journal to target volumes. mapping translates each
+// source volume ID to its backup-site twin; every journal member must be
+// mapped and every mapped target must exist on the target array.
+func NewGroup(env *sim.Env, name string, journal *storage.Journal, target *storage.Array,
+	mapping map[storage.VolumeID]storage.VolumeID, link *netlink.Link, cfg Config) (*Group, error) {
+	for _, src := range journal.Members() {
+		dst, ok := mapping[src]
+		if !ok {
+			return nil, fmt.Errorf("replication: journal member %s has no target mapping", src)
+		}
+		if _, err := target.Volume(dst); err != nil {
+			return nil, fmt.Errorf("replication: target for %s: %w", src, err)
+		}
+	}
+	m := make(map[storage.VolumeID]storage.VolumeID, len(mapping))
+	for k, v := range mapping {
+		m[k] = v
+	}
+	return &Group{
+		env:      env,
+		name:     name,
+		journal:  journal,
+		target:   target,
+		mapping:  m,
+		link:     link,
+		cfg:      cfg.withDefaults(),
+		stopEv:   env.NewEvent(),
+		caughtUp: env.NewEvent(),
+	}, nil
+}
+
+// Name returns the group name.
+func (g *Group) Name() string { return g.name }
+
+// Journal returns the source journal being drained.
+func (g *Group) Journal() *storage.Journal { return g.journal }
+
+// InitialCopy performs the ADC initialization bulk copy (§III-A1): every
+// written block of every source volume is transferred and applied to its
+// target. Writes that land during the copy flow through the journal and are
+// applied afterwards by the drain, so the target converges to a consistent
+// image. sources must live on the array owning the journal volumes.
+func (g *Group) InitialCopy(p *sim.Proc, source *storage.Array) error {
+	for _, src := range g.journal.Members() {
+		sv, err := source.Volume(src)
+		if err != nil {
+			return err
+		}
+		tv, err := g.target.Volume(g.mapping[src])
+		if err != nil {
+			return err
+		}
+		for _, b := range sv.WrittenBlocks() {
+			data := sv.Peek(b)
+			g.link.Transfer(p, len(data)+64)
+			if err := tv.Apply(p, b, data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Start launches the drain process. It runs until Stop.
+func (g *Group) Start() {
+	if g.drainProc != nil {
+		return
+	}
+	g.drainProc = g.env.Process("adc-drain:"+g.name, g.drain)
+}
+
+// Stop halts the drain after the in-flight batch. Pending journal records
+// stay at the main site — exactly the data a disaster would lose (RPO).
+func (g *Group) Stop() {
+	if g.stopped {
+		return
+	}
+	g.stopped = true
+	g.stopEv.Trigger()
+}
+
+// Stopped reports whether Stop was called.
+func (g *Group) Stopped() bool { return g.stopped }
+
+func (g *Group) drain(p *sim.Proc) {
+	for {
+		recs := g.journal.TryTake(g.cfg.BatchMax)
+		if recs == nil {
+			if !g.caughtUp.Triggered() {
+				g.caughtUp.Trigger()
+			}
+			if p.WaitAny(g.journal.NotEmpty(), g.stopEv) == 1 {
+				return
+			}
+			if g.stopped {
+				return
+			}
+			continue
+		}
+		g.inflight = len(recs)
+		var batchBytes int
+		for _, r := range recs {
+			batchBytes += r.SizeBytes()
+		}
+		g.link.Transfer(p, batchBytes)
+		for i, r := range recs {
+			// Stop splits the pair: anything not yet applied is lost in
+			// flight, exactly as a disaster (or operator split) leaves it.
+			if g.stopped {
+				g.lost = append(g.lost, recs[i:]...)
+				g.inflight = 0
+				return
+			}
+			tv, err := g.target.Volume(g.mapping[r.Volume])
+			if err != nil {
+				panic(fmt.Sprintf("replication %s: target vanished: %v", g.name, err))
+			}
+			if err := tv.Apply(p, r.Block, r.Data); err != nil {
+				panic(fmt.Sprintf("replication %s: apply: %v", g.name, err))
+			}
+			g.appliedSeq = r.Seq
+			g.appliedRecords++
+			g.appliedBytes += int64(len(r.Data))
+			g.lastAppliedAck = r.AckedAt
+			g.applyLog = append(g.applyLog, r)
+			g.inflight--
+		}
+		if g.stopped {
+			return
+		}
+	}
+}
+
+// CatchUp blocks until the journal is drained and every record applied, or
+// the group stops. It reports whether the group fully caught up.
+func (g *Group) CatchUp(p *sim.Proc) bool {
+	for g.journal.Pending() > 0 || g.inflight > 0 {
+		if g.stopped {
+			return false
+		}
+		// A stale triggered marker means the drain caught up some time ago
+		// and has not yet seen the new backlog; arm a fresh event so this
+		// loop blocks instead of spinning at the current instant.
+		if g.caughtUp.Triggered() {
+			g.caughtUp = g.env.NewEvent()
+		}
+		if p.WaitAny(g.caughtUp, g.stopEv) == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// RPO returns the recovery-point objective exposure at virtual time now: how
+// far the backup image lags the newest main-site ack. Zero when fully
+// caught up.
+func (g *Group) RPO(now time.Duration) time.Duration {
+	if oldest, ok := g.journal.OldestPendingAck(); ok {
+		return now - oldest
+	}
+	if g.inflight > 0 {
+		return now - g.lastAppliedAck
+	}
+	return 0
+}
+
+// Backlog returns the number of journal records not yet applied at the
+// target (pending + in flight).
+func (g *Group) Backlog() int { return g.journal.Pending() + g.inflight }
+
+// AppliedSeq returns the journal sequence applied through.
+func (g *Group) AppliedSeq() int64 { return g.appliedSeq }
+
+// AppliedRecords returns the lifetime count of applied records.
+func (g *Group) AppliedRecords() int64 { return g.appliedRecords }
+
+// AppliedBytes returns the lifetime payload bytes applied.
+func (g *Group) AppliedBytes() int64 { return g.appliedBytes }
+
+// ApplyLog returns the records applied at the target in apply order. The
+// consistency verifier reads it; callers must not mutate it.
+func (g *Group) ApplyLog() []storage.Record { return g.applyLog }
+
+// UnappliedRecords returns every record acknowledged at the source but
+// never applied at the target: the journal backlog plus any batch
+// abandoned in flight when the pair was split. Failback derives the
+// source-side divergence from it.
+func (g *Group) UnappliedRecords() []storage.Record {
+	out := append([]storage.Record(nil), g.lost...)
+	return append(out, g.journal.PendingRecords()...)
+}
+
+// Mapping returns a copy of the source→target volume mapping.
+func (g *Group) Mapping() map[storage.VolumeID]storage.VolumeID {
+	m := make(map[storage.VolumeID]storage.VolumeID, len(g.mapping))
+	for k, v := range g.mapping {
+		m[k] = v
+	}
+	return m
+}
+
+// Suspended reports whether the source journal has overflowed (the pair
+// is suspended and writes are tracked in the delta bitmap instead).
+func (g *Group) Suspended() bool { return g.journal.Overflowed() }
+
+// Resync recovers a suspended pair: it drains the journal's consistent
+// remainder, then copies the tracked delta blocks until a full pass finds
+// nothing new, and finally re-enables journaling. During the block-level
+// copy the target is NOT point-in-time consistent (which is why operators
+// snapshot the target before resyncing — exactly the demo's snapshot
+// group). maxPasses bounds convergence under continuous write load.
+func (g *Group) Resync(p *sim.Proc, source *storage.Array, maxPasses int) error {
+	if !g.journal.Overflowed() {
+		return nil
+	}
+	if maxPasses <= 0 {
+		maxPasses = 10
+	}
+	g.CatchUp(p)
+	for pass := 0; pass < maxPasses; pass++ {
+		copied := false
+		for _, src := range g.journal.Members() {
+			sv, err := source.Volume(src)
+			if err != nil {
+				return err
+			}
+			tv, err := g.target.Volume(g.mapping[src])
+			if err != nil {
+				return err
+			}
+			blocks := sv.ChangedBlocks()
+			if len(blocks) == 0 {
+				continue
+			}
+			// Reset tracking so writes landing during this copy are
+			// caught by the next pass.
+			sv.StartChangeTracking()
+			for _, b := range blocks {
+				data := sv.Peek(b)
+				g.link.Transfer(p, len(data)+64)
+				if err := tv.Apply(p, b, data); err != nil {
+					return fmt.Errorf("replication %s: resync %s[%d]: %w", g.name, src, b, err)
+				}
+			}
+			copied = true
+		}
+		if !copied {
+			// Quiet pass: nothing dirtied since the last reset. No time
+			// passes between this check and ClearOverflow, so no write
+			// can slip between them.
+			g.journal.ClearOverflow()
+			return nil
+		}
+	}
+	return fmt.Errorf("replication %s: resync did not converge in %d passes", g.name, maxPasses)
+}
+
+// Failover stops replication and makes every target volume writable,
+// returning the volumes in journal-member order. This is the backup-site
+// recovery entry point (§I): the image is whatever has been applied.
+func (g *Group) Failover() ([]*storage.Volume, error) {
+	g.Stop()
+	g.failedOver = true
+	var vols []*storage.Volume
+	for _, src := range g.journal.Members() {
+		tv, err := g.target.Volume(g.mapping[src])
+		if err != nil {
+			return nil, err
+		}
+		tv.SetReadOnly(false)
+		// Record everything the new production site writes from here on —
+		// the delta-resync bitmap Failback copies back.
+		tv.StartChangeTracking()
+		vols = append(vols, tv)
+	}
+	return vols, nil
+}
+
+// FailedOver reports whether Failover ran.
+func (g *Group) FailedOver() bool { return g.failedOver }
+
+func (g *Group) String() string {
+	return fmt.Sprintf("ADCGroup(%s){applied=%d backlog=%d}", g.name, g.appliedRecords, g.Backlog())
+}

@@ -1,0 +1,197 @@
+package replication
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/netlink"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// failoverRig drives a rig to the failed-over state with some divergence:
+// writes that never reached the backup, then new production at the backup.
+func failoverRig(t *testing.T) (*rig, *Group) {
+	t.Helper()
+	r := newRig(t, netlink.Config{Propagation: 2 * time.Millisecond})
+	g := r.newCG(t, Config{})
+	g.Start()
+	r.env.Process("io", func(p *sim.Proc) {
+		r.sales.Write(p, 0, fill(r.main, 0x01))
+		r.stock.Write(p, 0, fill(r.main, 0x02))
+		g.CatchUp(p)
+		// Partition, then write more: these strand in the journal.
+		r.links.Partition()
+		r.sales.Write(p, 1, fill(r.main, 0x03))
+		p.Sleep(10 * time.Millisecond)
+	})
+	r.env.Run(0)
+	if _, err := g.Failover(); err != nil {
+		t.Fatal(err)
+	}
+	// The main site "returns": the inter-site links heal. (The stranded
+	// journal writes stay lost — that is the point.)
+	r.links.Heal()
+	return r, g
+}
+
+func TestFailbackRequiresFailover(t *testing.T) {
+	r := newRig(t, netlink.Config{})
+	g := r.newCG(t, Config{})
+	r.env.Process("t", func(p *sim.Proc) {
+		if _, _, err := Failback(p, g, r.main, r.links.Reverse, Config{}); !errors.Is(err, ErrNotFailedOver) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	r.env.Run(0)
+}
+
+func TestFailbackResyncsDelta(t *testing.T) {
+	r, g := failoverRig(t)
+	// New production at the backup site after failover.
+	bs, _ := r.backup.Volume("sales")
+	bk, _ := r.backup.Volume("stock")
+	r.env.Process("prod", func(p *sim.Proc) {
+		bs.Write(p, 2, fill(r.backup, 0x10))
+		bk.Write(p, 3, fill(r.backup, 0x11))
+	})
+	r.env.Run(0)
+
+	var stats FailbackStats
+	var reverse *Group
+	r.env.Process("failback", func(p *sim.Proc) {
+		var err error
+		reverse, stats, err = Failback(p, g, r.main, r.links.Reverse, Config{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		reverse.CatchUp(p)
+	})
+	r.env.Run(0)
+	if reverse == nil {
+		t.Fatal("no reverse group")
+	}
+	// The delta: backup writes on blocks 2 (sales) and 3 (stock), plus the
+	// stranded sales block 1.
+	if stats.DeltaBlocks != 3 {
+		t.Fatalf("delta = %d blocks, want 3", stats.DeltaBlocks)
+	}
+	if stats.TotalBlocks < stats.DeltaBlocks {
+		t.Fatalf("total %d < delta %d", stats.TotalBlocks, stats.DeltaBlocks)
+	}
+	// Main now mirrors the backup's truth.
+	if r.sales.Peek(2)[0] != 0x10 || r.stock.Peek(3)[0] != 0x11 {
+		t.Fatal("backup production not resynced to main")
+	}
+	// The stranded write (sales block 1) was rolled back to the backup's
+	// view: the backup never had it, so main's copy is overwritten with
+	// the backup content (zeroes were never written there — the block was
+	// only in the stranded journal and on main; the resync copies the
+	// backup's version).
+	if r.sales.Peek(1)[0] == 0x03 {
+		t.Fatal("stranded divergent write survived failback")
+	}
+	reverse.Stop()
+}
+
+func TestFailbackReverseReplicationFlows(t *testing.T) {
+	r, g := failoverRig(t)
+	bs, _ := r.backup.Volume("sales")
+	var reverse *Group
+	r.env.Process("failback", func(p *sim.Proc) {
+		var err error
+		reverse, _, err = Failback(p, g, r.main, r.links.Reverse, Config{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Production continues at the backup; reverse ADC carries it over.
+		bs.Write(p, 7, fill(r.backup, 0x77))
+		reverse.CatchUp(p)
+	})
+	r.env.Run(0)
+	if r.sales.Peek(7)[0] != 0x77 {
+		t.Fatal("post-failback write did not replicate in reverse")
+	}
+	// Old source is now a protected target.
+	r.env.Process("guard", func(p *sim.Proc) {
+		if _, err := r.sales.Write(p, 8, fill(r.main, 1)); !errors.Is(err, storage.ErrReadOnly) {
+			t.Errorf("old source writable during reverse replication: %v", err)
+		}
+	})
+	r.env.Run(0)
+	reverse.Stop()
+}
+
+func TestFailbackCrossVolumeOrderPreserved(t *testing.T) {
+	// The reverse direction is also a consistency group: interleaved
+	// writes at the backup must apply at main in ack order.
+	r, g := failoverRig(t)
+	bs, _ := r.backup.Volume("sales")
+	bk, _ := r.backup.Volume("stock")
+	var reverse *Group
+	r.env.Process("failback", func(p *sim.Proc) {
+		var err error
+		reverse, _, err = Failback(p, g, r.main, r.links.Reverse, Config{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		bs.Write(p, 10, fill(r.backup, 1))
+		bk.Write(p, 10, fill(r.backup, 2))
+		bs.Write(p, 11, fill(r.backup, 3))
+		reverse.CatchUp(p)
+	})
+	r.env.Run(0)
+	log := reverse.ApplyLog()
+	if len(log) < 3 {
+		t.Fatalf("apply log = %d records", len(log))
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].Seq != log[i-1].Seq+1 {
+			t.Fatal("reverse apply order broken")
+		}
+	}
+	reverse.Stop()
+}
+
+func TestFailbackDeltaSmallerThanFull(t *testing.T) {
+	// Write a lot before failover (fully replicated), little after: the
+	// delta resync must move far less than a full copy would.
+	r := newRig(t, netlink.Config{Propagation: time.Millisecond})
+	g := r.newCG(t, Config{})
+	g.Start()
+	r.env.Process("io", func(p *sim.Proc) {
+		for i := int64(0); i < 100; i++ {
+			r.sales.Write(p, i, fill(r.main, byte(i)))
+		}
+		g.CatchUp(p)
+	})
+	r.env.Run(0)
+	g.Failover()
+	bs, _ := r.backup.Volume("sales")
+	r.env.Process("prod", func(p *sim.Proc) {
+		bs.Write(p, 5, fill(r.backup, 0xAA)) // one changed block
+	})
+	r.env.Run(0)
+	var stats FailbackStats
+	r.env.Process("failback", func(p *sim.Proc) {
+		var err error
+		var rev *Group
+		rev, stats, err = Failback(p, g, r.main, r.links.Reverse, Config{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rev.Stop()
+	})
+	r.env.Run(0)
+	if stats.DeltaBlocks != 1 {
+		t.Fatalf("delta = %d, want 1", stats.DeltaBlocks)
+	}
+	if stats.TotalBlocks < 100 {
+		t.Fatalf("total = %d, want >= 100", stats.TotalBlocks)
+	}
+}

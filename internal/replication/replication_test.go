@@ -1,0 +1,398 @@
+package replication
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/netlink"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// rig is a two-site fixture: main and backup arrays joined by a link pair,
+// with sales+stock volumes on both sides.
+type rig struct {
+	env    *sim.Env
+	main   *storage.Array
+	backup *storage.Array
+	links  *netlink.Pair
+	sales  *storage.Volume
+	stock  *storage.Volume
+}
+
+func newRig(t *testing.T, linkCfg netlink.Config) *rig {
+	t.Helper()
+	env := sim.NewEnv(1)
+	main := storage.NewArray(env, "main", storage.Config{})
+	backup := storage.NewArray(env, "backup", storage.Config{})
+	for _, a := range []*storage.Array{main, backup} {
+		if _, err := a.CreateVolume("sales", 256); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.CreateVolume("stock", 256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sales, _ := main.Volume("sales")
+	stock, _ := main.Volume("stock")
+	return &rig{
+		env:    env,
+		main:   main,
+		backup: backup,
+		links:  netlink.NewPair(env, linkCfg),
+		sales:  sales,
+		stock:  stock,
+	}
+}
+
+func (r *rig) newCG(t *testing.T, cfg Config) *Group {
+	t.Helper()
+	j, err := r.main.CreateConsistencyGroup("cg", []storage.VolumeID{"sales", "stock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGroup(r.env, "cg", j, r.backup,
+		map[storage.VolumeID]storage.VolumeID{"sales": "sales", "stock": "stock"},
+		r.links.Forward, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func fill(a *storage.Array, b byte) []byte {
+	buf := make([]byte, a.Config().BlockSize)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+func TestNewGroupValidatesMapping(t *testing.T) {
+	r := newRig(t, netlink.Config{})
+	j, _ := r.main.CreateConsistencyGroup("cg", []storage.VolumeID{"sales", "stock"})
+	if _, err := NewGroup(r.env, "g", j, r.backup,
+		map[storage.VolumeID]storage.VolumeID{"sales": "sales"}, r.links.Forward, Config{}); err == nil {
+		t.Fatal("missing mapping accepted")
+	}
+	if _, err := NewGroup(r.env, "g", j, r.backup,
+		map[storage.VolumeID]storage.VolumeID{"sales": "sales", "stock": "nope"}, r.links.Forward, Config{}); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestADCDrainsInOrder(t *testing.T) {
+	r := newRig(t, netlink.Config{Propagation: time.Millisecond})
+	g := r.newCG(t, Config{})
+	g.Start()
+	r.env.Process("io", func(p *sim.Proc) {
+		r.sales.Write(p, 1, fill(r.main, 0xA1))
+		r.stock.Write(p, 2, fill(r.main, 0xB2))
+		r.sales.Write(p, 3, fill(r.main, 0xC3))
+		g.CatchUp(p)
+	})
+	r.env.Run(0)
+	bs, _ := r.backup.Volume("sales")
+	bk, _ := r.backup.Volume("stock")
+	if bs.Peek(1)[0] != 0xA1 || bk.Peek(2)[0] != 0xB2 || bs.Peek(3)[0] != 0xC3 {
+		t.Fatal("backup content wrong")
+	}
+	log := g.ApplyLog()
+	if len(log) != 3 {
+		t.Fatalf("apply log has %d records", len(log))
+	}
+	for i, rec := range log {
+		if rec.Seq != int64(i+1) {
+			t.Fatalf("apply order broken: %v", log)
+		}
+	}
+	if g.AppliedSeq() != 3 || g.Backlog() != 0 {
+		t.Fatalf("appliedSeq=%d backlog=%d", g.AppliedSeq(), g.Backlog())
+	}
+	g.Stop()
+}
+
+func TestADCWriteAckDoesNotWaitForLink(t *testing.T) {
+	// The paper's core slowdown claim: with ADC the host ack is local.
+	r := newRig(t, netlink.Config{Propagation: 500 * time.Millisecond})
+	g := r.newCG(t, Config{})
+	g.Start()
+	var ackAt time.Duration
+	r.env.Process("io", func(p *sim.Proc) {
+		r.sales.Write(p, 0, fill(r.main, 1))
+		ackAt = p.Now()
+	})
+	r.env.Run(0)
+	if ackAt > 10*time.Millisecond {
+		t.Fatalf("ADC write acked at %v, should not include the 500ms link", ackAt)
+	}
+	g.Stop()
+}
+
+func TestSDCWritePaysRoundTrip(t *testing.T) {
+	r := newRig(t, netlink.Config{Propagation: 50 * time.Millisecond})
+	tv, _ := r.backup.Volume("sales")
+	sv := NewSyncVolume(r.sales, tv, r.links)
+	var ackAt time.Duration
+	r.env.Process("io", func(p *sim.Proc) {
+		if _, err := sv.Write(p, 0, fill(r.main, 7)); err != nil {
+			t.Error(err)
+		}
+		ackAt = p.Now()
+	})
+	r.env.Run(0)
+	if ackAt < 100*time.Millisecond {
+		t.Fatalf("SDC write acked at %v, must include full RTT (100ms)", ackAt)
+	}
+	if tv.Peek(0)[0] != 7 {
+		t.Fatal("remote twin missing data")
+	}
+	if sv.Writes() != 1 || sv.MeanRemoteOverhead() < 100*time.Millisecond {
+		t.Fatalf("stats: writes=%d overhead=%v", sv.Writes(), sv.MeanRemoteOverhead())
+	}
+}
+
+func TestSyncVolumeReadIsLocal(t *testing.T) {
+	r := newRig(t, netlink.Config{Propagation: time.Hour}) // reads must not touch this
+	tv, _ := r.backup.Volume("sales")
+	sv := NewSyncVolume(r.sales, tv, r.links)
+	var got []byte
+	r.env.Process("io", func(p *sim.Proc) {
+		r.sales.Write(p, 0, fill(r.main, 3))
+		got, _ = sv.Read(p, 0)
+	})
+	end := r.env.Run(0)
+	if got[0] != 3 {
+		t.Fatal("read wrong data")
+	}
+	if end > time.Second {
+		t.Fatalf("local read crossed the link (took %v)", end)
+	}
+}
+
+func TestInitialCopyTransfersExistingData(t *testing.T) {
+	r := newRig(t, netlink.Config{Propagation: time.Millisecond})
+	r.env.Process("preload", func(p *sim.Proc) {
+		r.sales.Write(p, 5, fill(r.main, 0x55))
+		r.stock.Write(p, 6, fill(r.main, 0x66))
+	})
+	r.env.Run(0)
+	g := r.newCG(t, Config{})
+	r.env.Process("init", func(p *sim.Proc) {
+		if err := g.InitialCopy(p, r.main); err != nil {
+			t.Error(err)
+		}
+	})
+	r.env.Run(0)
+	bs, _ := r.backup.Volume("sales")
+	bk, _ := r.backup.Volume("stock")
+	if bs.Peek(5)[0] != 0x55 || bk.Peek(6)[0] != 0x66 {
+		t.Fatal("initial copy incomplete")
+	}
+	// Note: the preload happened before the CG existed, so those writes are
+	// not in the journal; only the bulk copy moved them.
+	if g.Journal().Pending() != 0 {
+		t.Fatal("unexpected journal records")
+	}
+}
+
+func TestRPOGrowsWhilePartitionedAndRecovers(t *testing.T) {
+	r := newRig(t, netlink.Config{Propagation: time.Millisecond})
+	g := r.newCG(t, Config{})
+	g.Start()
+	var rpoDuring, rpoAfter time.Duration
+	r.env.Process("io", func(p *sim.Proc) {
+		r.links.Partition()
+		r.sales.Write(p, 0, fill(r.main, 1))
+		p.Sleep(200 * time.Millisecond)
+		rpoDuring = g.RPO(p.Now())
+		r.links.Heal()
+		g.CatchUp(p)
+		rpoAfter = g.RPO(p.Now())
+	})
+	r.env.Run(0)
+	if rpoDuring < 190*time.Millisecond {
+		t.Fatalf("RPO during partition = %v, want >= ~200ms", rpoDuring)
+	}
+	if rpoAfter != 0 {
+		t.Fatalf("RPO after catch-up = %v, want 0", rpoAfter)
+	}
+	g.Stop()
+}
+
+func TestBacklogCountsPendingAndInflight(t *testing.T) {
+	r := newRig(t, netlink.Config{Propagation: 100 * time.Millisecond})
+	g := r.newCG(t, Config{BatchMax: 1})
+	g.Start()
+	r.env.Process("io", func(p *sim.Proc) {
+		for i := int64(0); i < 5; i++ {
+			r.sales.Write(p, i, fill(r.main, byte(i)))
+		}
+		p.Sleep(time.Millisecond)
+		if got := g.Backlog(); got != 5 {
+			t.Errorf("backlog right after writes = %d, want 5", got)
+		}
+		g.CatchUp(p)
+		if got := g.Backlog(); got != 0 {
+			t.Errorf("backlog after catch-up = %d", got)
+		}
+	})
+	r.env.Run(0)
+	g.Stop()
+}
+
+func TestStopHaltsDrain(t *testing.T) {
+	r := newRig(t, netlink.Config{Propagation: time.Millisecond})
+	g := r.newCG(t, Config{})
+	g.Start()
+	r.env.Process("io", func(p *sim.Proc) {
+		r.sales.Write(p, 0, fill(r.main, 1))
+		g.CatchUp(p)
+		g.Stop()
+		// Writes after stop stay in the journal.
+		r.sales.Write(p, 1, fill(r.main, 2))
+		p.Sleep(time.Second)
+	})
+	r.env.Run(0)
+	bs, _ := r.backup.Volume("sales")
+	if bs.Peek(0)[0] != 1 {
+		t.Fatal("pre-stop write not applied")
+	}
+	if bs.Peek(1)[0] != 0 {
+		t.Fatal("post-stop write leaked to backup")
+	}
+	if g.Journal().Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", g.Journal().Pending())
+	}
+}
+
+func TestFailoverMakesTargetsWritable(t *testing.T) {
+	r := newRig(t, netlink.Config{Propagation: time.Millisecond})
+	g := r.newCG(t, Config{})
+	for _, id := range []storage.VolumeID{"sales", "stock"} {
+		tv, _ := r.backup.Volume(id)
+		tv.SetReadOnly(true)
+	}
+	g.Start()
+	r.env.Process("io", func(p *sim.Proc) {
+		r.sales.Write(p, 0, fill(r.main, 1))
+		g.CatchUp(p)
+	})
+	r.env.Run(0)
+	vols, err := g.Failover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vols) != 2 {
+		t.Fatalf("failover returned %d volumes", len(vols))
+	}
+	if !g.Stopped() || !g.FailedOver() {
+		t.Fatal("failover state wrong")
+	}
+	r.env.Process("write-at-backup", func(p *sim.Proc) {
+		if _, err := vols[0].Write(p, 10, fill(r.backup, 9)); err != nil {
+			t.Errorf("backup volume still read-only: %v", err)
+		}
+	})
+	r.env.Run(0)
+}
+
+func TestPerVolumeGroupsDivergeWithoutCG(t *testing.T) {
+	// Two single-volume journals share one link; after a mid-stream stop the
+	// two targets can be at different global points. This is the mechanism
+	// behind E6, tested here at the replication layer.
+	env := sim.NewEnv(3)
+	main := storage.NewArray(env, "main", storage.Config{})
+	backup := storage.NewArray(env, "backup", storage.Config{})
+	for _, a := range []*storage.Array{main, backup} {
+		a.CreateVolume("sales", 4096)
+		a.CreateVolume("stock", 4096)
+	}
+	links := netlink.NewPair(env, netlink.Config{Propagation: 5 * time.Millisecond, BandwidthBps: 2e6})
+	js, _ := main.CreateConsistencyGroup("j-sales", []storage.VolumeID{"sales"})
+	jk, _ := main.CreateConsistencyGroup("j-stock", []storage.VolumeID{"stock"})
+	gs, _ := NewGroup(env, "g-sales", js, backup, map[storage.VolumeID]storage.VolumeID{"sales": "sales"}, links.Forward, Config{BatchMax: 8})
+	gk, _ := NewGroup(env, "g-stock", jk, backup, map[storage.VolumeID]storage.VolumeID{"stock": "stock"}, links.Forward, Config{BatchMax: 8})
+	gs.Start()
+	gk.Start()
+	sales, _ := main.Volume("sales")
+	stock, _ := main.Volume("stock")
+	env.Process("io", func(p *sim.Proc) {
+		for i := int64(0); i < 400; i++ {
+			b := make([]byte, main.Config().BlockSize)
+			b[0] = byte(i)
+			sales.Write(p, i%512, b)
+			stock.Write(p, i%512, b)
+		}
+	})
+	env.Run(40 * time.Millisecond) // stop mid-replication: the disaster
+	gs.Stop()
+	gk.Stop()
+	a, b := gs.AppliedRecords(), gk.AppliedRecords()
+	if a == 0 && b == 0 {
+		t.Skip("nothing applied before cut; scenario too short")
+	}
+	// With independent drains over a shared link the applied counts are
+	// whatever the interleaving produced; the replication layer promises
+	// only per-journal order, NOT cross-journal alignment. We assert the
+	// per-journal order here.
+	for i, rec := range gs.ApplyLog() {
+		if rec.Seq != int64(i+1) {
+			t.Fatalf("sales apply order broken at %d", i)
+		}
+	}
+	for i, rec := range gk.ApplyLog() {
+		if rec.Seq != int64(i+1) {
+			t.Fatalf("stock apply order broken at %d", i)
+		}
+	}
+}
+
+func TestBatchSizeAffectsTransferCount(t *testing.T) {
+	run := func(batch int) int64 {
+		env := sim.NewEnv(1)
+		main := storage.NewArray(env, "m", storage.Config{})
+		backup := storage.NewArray(env, "b", storage.Config{})
+		main.CreateVolume("v", 1024)
+		backup.CreateVolume("v", 1024)
+		link := netlink.New(env, netlink.Config{Propagation: 10 * time.Millisecond})
+		j, _ := main.CreateConsistencyGroup("j", []storage.VolumeID{"v"})
+		g, _ := NewGroup(env, "g", j, backup, map[storage.VolumeID]storage.VolumeID{"v": "v"}, link, Config{BatchMax: batch})
+		v, _ := main.Volume("v")
+		env.Process("io", func(p *sim.Proc) {
+			for i := int64(0); i < 100; i++ {
+				v.Write(p, i, make([]byte, main.Config().BlockSize))
+			}
+			g.Start()
+			g.CatchUp(p)
+			g.Stop()
+		})
+		env.Run(0)
+		return link.Transfers()
+	}
+	small, large := run(1), run(100)
+	if small != 100 {
+		t.Fatalf("batch=1 transfers = %d, want 100", small)
+	}
+	if large != 1 {
+		t.Fatalf("batch=100 transfers = %d, want 1", large)
+	}
+}
+
+func TestApplyLogDataIntegrity(t *testing.T) {
+	r := newRig(t, netlink.Config{})
+	g := r.newCG(t, Config{})
+	g.Start()
+	want := fill(r.main, 0xEE)
+	r.env.Process("io", func(p *sim.Proc) {
+		r.sales.Write(p, 9, want)
+		g.CatchUp(p)
+	})
+	r.env.Run(0)
+	bs, _ := r.backup.Volume("sales")
+	if !bytes.Equal(bs.Peek(9), want) {
+		t.Fatal("payload corrupted in flight")
+	}
+	g.Stop()
+}

@@ -1,0 +1,94 @@
+package replication
+
+import (
+	"time"
+
+	"repro/internal/netlink"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// BlockWriter is the host-facing write interface. storage.Volume satisfies
+// it for unreplicated and ADC volumes (ADC acks locally); SyncVolume wraps a
+// pair for SDC. The database layer writes through this interface so the
+// replication mode is a drop-in configuration choice, which is how the E5
+// slowdown experiment swaps modes.
+type BlockWriter interface {
+	Write(p *sim.Proc, block int64, data []byte) (storage.Ack, error)
+	Read(p *sim.Proc, block int64) ([]byte, error)
+	SizeBlocks() int64
+	BlockSize() int
+}
+
+// SyncVolume implements synchronous data copy: a write is acknowledged only
+// after the data is applied at the remote twin and the ack crosses back.
+// The added latency is serialization + one forward propagation + remote
+// media time + one reverse propagation — the business-processing impact the
+// paper's §V credits SDC with.
+type SyncVolume struct {
+	source  *storage.Volume
+	target  *storage.Volume
+	forward *netlink.Link
+	reverse *netlink.Link
+
+	writes       int64
+	remoteLag    time.Duration // cumulative remote round-trip overhead
+	lastWriteAck storage.Ack
+}
+
+// NewSyncVolume pairs a source volume with its remote twin over a link pair.
+func NewSyncVolume(source, target *storage.Volume, links *netlink.Pair) *SyncVolume {
+	return &SyncVolume{source: source, target: target, forward: links.Forward, reverse: links.Reverse}
+}
+
+// Write stores the block locally, mirrors it remotely, and returns after the
+// remote ack. The returned Ack is the local one (its GlobalSeq still defines
+// the ack order; SDC guarantees the remote has it too).
+func (sv *SyncVolume) Write(p *sim.Proc, block int64, data []byte) (storage.Ack, error) {
+	ack, err := sv.source.Write(p, block, data)
+	if err != nil {
+		return storage.Ack{}, err
+	}
+	start := p.Now()
+	sv.forward.Transfer(p, len(data)+64)
+	if err := sv.target.Apply(p, block, data); err != nil {
+		return storage.Ack{}, err
+	}
+	sv.reverse.Transfer(p, 64) // ack frame
+	sv.remoteLag += p.Now() - start
+	sv.writes++
+	sv.lastWriteAck = ack
+	return ack, nil
+}
+
+// Read serves from the local volume (SDC reads are always local).
+func (sv *SyncVolume) Read(p *sim.Proc, block int64) ([]byte, error) {
+	return sv.source.Read(p, block)
+}
+
+// SizeBlocks returns the local volume size.
+func (sv *SyncVolume) SizeBlocks() int64 { return sv.source.SizeBlocks() }
+
+// BlockSize returns the local volume's block size.
+func (sv *SyncVolume) BlockSize() int { return sv.source.BlockSize() }
+
+// Source returns the local volume.
+func (sv *SyncVolume) Source() *storage.Volume { return sv.source }
+
+// Target returns the remote twin.
+func (sv *SyncVolume) Target() *storage.Volume { return sv.target }
+
+// Writes returns the number of mirrored writes.
+func (sv *SyncVolume) Writes() int64 { return sv.writes }
+
+// MeanRemoteOverhead returns the average per-write latency added by the
+// synchronous mirror, or 0 with no writes.
+func (sv *SyncVolume) MeanRemoteOverhead() time.Duration {
+	if sv.writes == 0 {
+		return 0
+	}
+	return sv.remoteLag / time.Duration(sv.writes)
+}
+
+var _ BlockWriter = (*SyncVolume)(nil)
+var _ BlockWriter = (*storage.Volume)(nil)

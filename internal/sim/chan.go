@@ -1,0 +1,82 @@
+package sim
+
+import "time"
+
+// Chan is an unbounded FIFO queue carrying values between simulated
+// processes. Put never blocks; Get blocks the calling process until an item
+// is available. Items are delivered in insertion order, and blocked getters
+// are served in arrival order.
+type Chan struct {
+	env   *Env
+	items []interface{}
+	avail *Event // triggered whenever items transitions from empty
+}
+
+// NewChan returns an empty channel bound to the environment.
+func (e *Env) NewChan() *Chan {
+	return &Chan{env: e, avail: e.NewEvent()}
+}
+
+// Put appends v to the queue and wakes one round of waiters.
+func (c *Chan) Put(v interface{}) {
+	c.items = append(c.items, v)
+	c.avail.Trigger()
+}
+
+// Len returns the number of queued items.
+func (c *Chan) Len() int { return len(c.items) }
+
+// Avail returns an event that triggers when the channel next becomes
+// non-empty (already triggered if it is now). Use with Proc.WaitAny to
+// select between data arrival and other conditions.
+func (c *Chan) Avail() *Event {
+	if len(c.items) > 0 {
+		if !c.avail.Triggered() {
+			c.avail.Trigger()
+		}
+		return c.avail
+	}
+	if c.avail.Triggered() {
+		c.avail = c.env.NewEvent()
+	}
+	return c.avail
+}
+
+// Get removes and returns the head item, blocking the process until one is
+// available.
+func (c *Chan) Get(p *Proc) interface{} {
+	for len(c.items) == 0 {
+		if c.avail.Triggered() {
+			c.avail = c.env.NewEvent()
+		}
+		p.Wait(c.avail)
+	}
+	v := c.items[0]
+	c.items[0] = nil
+	c.items = c.items[1:]
+	return v
+}
+
+// GetTimeout is Get with a deadline; ok is false when the timeout fired
+// before an item arrived.
+func (c *Chan) GetTimeout(p *Proc, d time.Duration) (v interface{}, ok bool) {
+	deadline := p.Now() + d
+	for len(c.items) == 0 {
+		remain := deadline - p.Now()
+		if remain <= 0 {
+			return nil, false
+		}
+		if c.avail.Triggered() {
+			c.avail = c.env.NewEvent()
+		}
+		if !p.WaitTimeout(c.avail, remain) {
+			if len(c.items) == 0 {
+				return nil, false
+			}
+		}
+	}
+	v = c.items[0]
+	c.items[0] = nil
+	c.items = c.items[1:]
+	return v, true
+}

@@ -1,0 +1,134 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All components of the backup system (storage arrays, network links,
+// databases, workloads) execute as simulated processes on a shared virtual
+// clock. Processes are ordinary goroutines that cooperate with the scheduler:
+// exactly one process runs at a time, and time advances only when every
+// process is blocked in Sleep or Wait. Given a fixed RNG seed, runs are fully
+// reproducible, which is what lets the experiment harness regenerate the
+// paper's figures deterministically.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// Create one with NewEnv, start processes with Process, then call Run.
+type Env struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     int64 // tiebreaker for events at the same timestamp
+	rng     *rand.Rand
+	yield   chan struct{} // signalled by a process when it blocks or exits
+	running bool
+	blocked int // processes waiting on an untriggered Event
+	procs   int // live (started, unfinished) processes
+}
+
+// NewEnv returns an environment whose random source is seeded with seed.
+// The same seed always yields the same execution.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+// Rand returns the environment's deterministic random source.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// scheduled is one entry in the event queue: resume a process at time at.
+// Entries can be canceled in place (e.g. a timeout superseded by its event);
+// the scheduler skips canceled entries when it pops them.
+type scheduled struct {
+	at       time.Duration
+	seq      int64
+	proc     *Proc
+	canceled bool
+}
+
+type eventQueue []*scheduled
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*scheduled)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+func (e *Env) schedule(p *Proc, at time.Duration) { e.scheduleEntry(p, at) }
+
+func (e *Env) scheduleEntry(p *Proc, at time.Duration) *scheduled {
+	e.seq++
+	it := &scheduled{at: at, seq: e.seq, proc: p}
+	heap.Push(&e.queue, it)
+	return it
+}
+
+// Run executes scheduled events until the queue drains or virtual time would
+// pass horizon (horizon <= 0 means no limit). It returns the virtual time at
+// which the simulation stopped.
+func (e *Env) Run(horizon time.Duration) time.Duration {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if horizon > 0 && next.at > horizon {
+			e.now = horizon
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if next.canceled || next.proc.done {
+			continue
+		}
+		if next.at > e.now {
+			e.now = next.at
+		}
+		e.step(next.proc)
+	}
+	return e.now
+}
+
+// step resumes one process and waits for it to block or finish.
+func (e *Env) step(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// Idle reports whether no events are pending. Processes blocked on
+// untriggered events do not count as pending work.
+func (e *Env) Idle() bool { return len(e.queue) == 0 }
+
+// Blocked returns the number of live processes waiting on events that have
+// not triggered. A nonzero value after Run returns usually indicates a
+// modelling bug (a deadlocked process), unless those processes are servers
+// intentionally parked on demand queues.
+func (e *Env) Blocked() int { return e.blocked }
+
+// Procs returns the number of live processes.
+func (e *Env) Procs() int { return e.procs }
+
+func (e *Env) String() string {
+	return fmt.Sprintf("sim.Env{now=%v queued=%d procs=%d blocked=%d}", e.now, len(e.queue), e.procs, e.blocked)
+}

@@ -1,0 +1,51 @@
+package sim
+
+// Resource is a counted resource (semaphore) with FIFO admission. It models
+// service stations with limited parallelism: disk heads, controller CPUs,
+// replication apply slots. Acquire blocks the process until a unit is free.
+type Resource struct {
+	env      *Env
+	capacity int
+	inUse    int
+	waitq    []*Event
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func (e *Env) NewResource(capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{env: e, capacity: capacity}
+}
+
+// Acquire obtains one unit, blocking in FIFO order when none are free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.waitq) == 0 {
+		r.inUse++
+		return
+	}
+	ev := r.env.NewEvent()
+	r.waitq = append(r.waitq, ev)
+	p.Wait(ev)
+	// Ownership was transferred by Release; inUse already accounts for us.
+}
+
+// Release returns one unit, handing it directly to the longest waiter if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release without Acquire")
+	}
+	if len(r.waitq) > 0 {
+		next := r.waitq[0]
+		r.waitq = r.waitq[1:]
+		next.Trigger() // unit stays in use, transferred to the waiter
+		return
+	}
+	r.inUse--
+}
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting for a unit.
+func (r *Resource) QueueLen() int { return len(r.waitq) }

@@ -1,0 +1,326 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	env := NewEnv(1)
+	var at time.Duration
+	env.Process("sleeper", func(p *Proc) {
+		p.Sleep(42 * time.Millisecond)
+		at = p.Now()
+	})
+	end := env.Run(0)
+	if at != 42*time.Millisecond {
+		t.Fatalf("woke at %v, want 42ms", at)
+	}
+	if end != 42*time.Millisecond {
+		t.Fatalf("run ended at %v, want 42ms", end)
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	env := NewEnv(1)
+	var order []string
+	env.Process("a", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		order = append(order, "a10")
+		p.Sleep(20 * time.Millisecond)
+		order = append(order, "a30")
+	})
+	env.Process("b", func(p *Proc) {
+		p.Sleep(20 * time.Millisecond)
+		order = append(order, "b20")
+	})
+	env.Run(0)
+	want := []string{"a10", "b20", "a30"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameTimeEventsRunInScheduleOrder(t *testing.T) {
+	env := NewEnv(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		env.Process("p", func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			order = append(order, i)
+		})
+	}
+	env.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestEventWakesAllWaiters(t *testing.T) {
+	env := NewEnv(1)
+	ev := env.NewEvent()
+	woke := 0
+	for i := 0; i < 3; i++ {
+		env.Process("waiter", func(p *Proc) {
+			p.Wait(ev)
+			woke++
+		})
+	}
+	env.Process("trigger", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		ev.Trigger()
+	})
+	env.Run(0)
+	if woke != 3 {
+		t.Fatalf("woke = %d, want 3", woke)
+	}
+	if env.Blocked() != 0 {
+		t.Fatalf("blocked = %d, want 0", env.Blocked())
+	}
+}
+
+func TestWaitOnTriggeredEventReturnsImmediately(t *testing.T) {
+	env := NewEnv(1)
+	ev := env.NewEvent()
+	ev.Trigger()
+	var at time.Duration = -1
+	env.Process("w", func(p *Proc) {
+		p.Wait(ev)
+		at = p.Now()
+	})
+	env.Run(0)
+	if at != 0 {
+		t.Fatalf("waited until %v, want 0", at)
+	}
+}
+
+func TestWaitTimeoutFires(t *testing.T) {
+	env := NewEnv(1)
+	ev := env.NewEvent()
+	var ok bool
+	var at time.Duration
+	env.Process("w", func(p *Proc) {
+		ok = p.WaitTimeout(ev, 7*time.Millisecond)
+		at = p.Now()
+	})
+	env.Run(0)
+	if ok {
+		t.Fatal("WaitTimeout reported event, want timeout")
+	}
+	if at != 7*time.Millisecond {
+		t.Fatalf("timed out at %v, want 7ms", at)
+	}
+}
+
+func TestWaitTimeoutEventWins(t *testing.T) {
+	env := NewEnv(1)
+	ev := env.NewEvent()
+	var ok bool
+	var at time.Duration
+	env.Process("w", func(p *Proc) {
+		ok = p.WaitTimeout(ev, 100*time.Millisecond)
+		at = p.Now()
+	})
+	env.Process("t", func(p *Proc) {
+		p.Sleep(3 * time.Millisecond)
+		ev.Trigger()
+	})
+	end := env.Run(0)
+	if !ok {
+		t.Fatal("WaitTimeout reported timeout, want event")
+	}
+	if at != 3*time.Millisecond {
+		t.Fatalf("woke at %v, want 3ms", at)
+	}
+	// The canceled timer must not extend the run.
+	if end != 3*time.Millisecond {
+		t.Fatalf("run ended at %v, want 3ms", end)
+	}
+}
+
+func TestLateTriggerAfterTimeoutDoesNotResume(t *testing.T) {
+	env := NewEnv(1)
+	ev := env.NewEvent()
+	resumed := 0
+	env.Process("w", func(p *Proc) {
+		p.WaitTimeout(ev, time.Millisecond)
+		resumed++
+	})
+	env.Process("t", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		ev.Trigger()
+	})
+	env.Run(0)
+	if resumed != 1 {
+		t.Fatalf("process body ran %d times past the wait, want 1", resumed)
+	}
+}
+
+func TestRunHorizonStopsEarly(t *testing.T) {
+	env := NewEnv(1)
+	ran := false
+	env.Process("late", func(p *Proc) {
+		p.Sleep(time.Second)
+		ran = true
+	})
+	end := env.Run(100 * time.Millisecond)
+	if ran {
+		t.Fatal("event past horizon ran")
+	}
+	if end != 100*time.Millisecond {
+		t.Fatalf("end = %v, want horizon", end)
+	}
+	// Resuming the run completes the pending work.
+	env.Run(0)
+	if !ran {
+		t.Fatal("event did not run after horizon lifted")
+	}
+}
+
+func TestChanFIFO(t *testing.T) {
+	env := NewEnv(1)
+	ch := env.NewChan()
+	var got []int
+	env.Process("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, ch.Get(p).(int))
+		}
+	})
+	env.Process("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(time.Millisecond)
+			ch.Put(i)
+		}
+	})
+	env.Run(0)
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("got = %v, want [0 1 2]", got)
+	}
+}
+
+func TestChanGetBeforePut(t *testing.T) {
+	env := NewEnv(1)
+	ch := env.NewChan()
+	var v interface{}
+	env.Process("c", func(p *Proc) { v = ch.Get(p) })
+	env.Process("p", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		ch.Put("x")
+	})
+	env.Run(0)
+	if v != "x" {
+		t.Fatalf("v = %v, want x", v)
+	}
+}
+
+func TestChanGetTimeout(t *testing.T) {
+	env := NewEnv(1)
+	ch := env.NewChan()
+	var ok bool
+	env.Process("c", func(p *Proc) { _, ok = ch.GetTimeout(p, 5*time.Millisecond) })
+	env.Run(0)
+	if ok {
+		t.Fatal("GetTimeout returned ok on empty channel")
+	}
+}
+
+func TestResourceLimitsParallelism(t *testing.T) {
+	env := NewEnv(1)
+	r := env.NewResource(2)
+	maxInUse := 0
+	for i := 0; i < 6; i++ {
+		env.Process("u", func(p *Proc) {
+			r.Acquire(p)
+			if r.InUse() > maxInUse {
+				maxInUse = r.InUse()
+			}
+			p.Sleep(10 * time.Millisecond)
+			r.Release()
+		})
+	}
+	end := env.Run(0)
+	if maxInUse != 2 {
+		t.Fatalf("max in use = %d, want 2", maxInUse)
+	}
+	// 6 jobs of 10ms over 2 servers = 30ms makespan.
+	if end != 30*time.Millisecond {
+		t.Fatalf("makespan = %v, want 30ms", end)
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("in use after run = %d, want 0", r.InUse())
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	env := NewEnv(1)
+	r := env.NewResource(1)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		env.ProcessAt("u", time.Duration(i)*time.Microsecond, func(p *Proc) {
+			r.Acquire(p)
+			order = append(order, i)
+			p.Sleep(time.Millisecond)
+			r.Release()
+		})
+	}
+	env.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("service order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestProcDoneJoin(t *testing.T) {
+	env := NewEnv(1)
+	var joined time.Duration
+	worker := env.Process("w", func(p *Proc) { p.Sleep(9 * time.Millisecond) })
+	env.Process("j", func(p *Proc) {
+		p.Wait(worker.Done)
+		joined = p.Now()
+	})
+	env.Run(0)
+	if joined != 9*time.Millisecond {
+		t.Fatalf("joined at %v, want 9ms", joined)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	runOnce := func() []int64 {
+		env := NewEnv(99)
+		var out []int64
+		env.Process("r", func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				out = append(out, env.Rand().Int63n(1000))
+				p.Sleep(time.Millisecond)
+			}
+		})
+		env.Run(0)
+		return out
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestProcessAtDelaysStart(t *testing.T) {
+	env := NewEnv(1)
+	var started time.Duration = -1
+	env.ProcessAt("late", 50*time.Millisecond, func(p *Proc) { started = p.Now() })
+	env.Run(0)
+	if started != 50*time.Millisecond {
+		t.Fatalf("started at %v, want 50ms", started)
+	}
+}

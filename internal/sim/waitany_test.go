@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWaitAnyFirstTriggeredWins(t *testing.T) {
+	env := NewEnv(1)
+	a, b := env.NewEvent(), env.NewEvent()
+	var idx int
+	var at time.Duration
+	env.Process("w", func(p *Proc) {
+		idx = p.WaitAny(a, b)
+		at = p.Now()
+	})
+	env.Process("t", func(p *Proc) {
+		p.Sleep(4 * time.Millisecond)
+		b.Trigger()
+	})
+	env.Run(0)
+	if idx != 1 || at != 4*time.Millisecond {
+		t.Fatalf("idx=%d at=%v, want 1 at 4ms", idx, at)
+	}
+}
+
+func TestWaitAnyAlreadyTriggered(t *testing.T) {
+	env := NewEnv(1)
+	a, b := env.NewEvent(), env.NewEvent()
+	b.Trigger()
+	var idx = -1
+	env.Process("w", func(p *Proc) { idx = p.WaitAny(a, b) })
+	env.Run(0)
+	if idx != 1 {
+		t.Fatalf("idx = %d", idx)
+	}
+}
+
+func TestWaitAnyNoDoubleResume(t *testing.T) {
+	env := NewEnv(1)
+	a, b := env.NewEvent(), env.NewEvent()
+	resumes := 0
+	env.Process("w", func(p *Proc) {
+		p.WaitAny(a, b)
+		resumes++
+		p.Sleep(50 * time.Millisecond) // stay alive while the other fires
+	})
+	env.Process("t", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		a.Trigger()
+		p.Sleep(time.Millisecond)
+		b.Trigger() // must not resume w again
+	})
+	env.Run(0)
+	if resumes != 1 {
+		t.Fatalf("resumes = %d, want 1", resumes)
+	}
+}
+
+func TestWaitAnySimultaneousTriggerSingleResume(t *testing.T) {
+	env := NewEnv(1)
+	a, b := env.NewEvent(), env.NewEvent()
+	resumes := 0
+	env.Process("w", func(p *Proc) {
+		p.WaitAny(a, b)
+		resumes++
+	})
+	env.Process("t", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		a.Trigger()
+		b.Trigger() // same instant, before w resumes
+	})
+	env.Run(0)
+	if resumes != 1 {
+		t.Fatalf("resumes = %d, want 1", resumes)
+	}
+}
+
+func TestWaitAnyReusableAcrossRounds(t *testing.T) {
+	env := NewEnv(1)
+	stop := env.NewEvent()
+	data := env.NewEvent()
+	rounds := 0
+	env.Process("loop", func(p *Proc) {
+		for {
+			if p.WaitAny(data, stop) == 1 {
+				return
+			}
+			rounds++
+			data = env.NewEvent() // fresh condition each round
+		}
+	})
+	env.Process("driver", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(time.Millisecond)
+			data.Trigger()
+		}
+		p.Sleep(time.Millisecond)
+		stop.Trigger()
+	})
+	env.Run(0)
+	if rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", rounds)
+	}
+}

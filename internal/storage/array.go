@@ -1,0 +1,295 @@
+// Package storage models an enterprise external storage array of the kind
+// the paper demonstrates on (Hitachi VSP G370): block volumes behind a
+// controller, journal volumes feeding asynchronous replication, consistency
+// groups that share one journal across volumes, and copy-on-write snapshots
+// with group-atomic snapshot creation.
+//
+// The properties the paper's claims rest on are modelled exactly:
+//
+//   - every write is acknowledged in a global order (the "order of acks");
+//   - a journal records writes in ack order, per journal;
+//   - a consistency group shares one journal across many volumes, so the
+//     backup site can replay the exact cross-volume order;
+//   - snapshot groups capture all member volumes at a single instant.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Common management-API errors.
+var (
+	ErrNoSuchVolume    = errors.New("storage: no such volume")
+	ErrVolumeExists    = errors.New("storage: volume already exists")
+	ErrNoSuchJournal   = errors.New("storage: no such journal")
+	ErrJournalExists   = errors.New("storage: journal already exists")
+	ErrJournalAttached = errors.New("storage: volume already attached to a journal")
+	ErrNoSuchSnapshot  = errors.New("storage: no such snapshot")
+	ErrSnapshotExists  = errors.New("storage: snapshot already exists")
+	ErrOutOfRange      = errors.New("storage: block index out of range")
+	ErrBadBlockSize    = errors.New("storage: data length must equal the block size")
+	ErrReadOnly        = errors.New("storage: volume is read-only")
+)
+
+// VolumeID names a volume within one array.
+type VolumeID string
+
+// Config holds array service-time parameters. Zero values take defaults.
+type Config struct {
+	// BlockSize is the bytes per block (default 4096).
+	BlockSize int
+	// WriteLatency is the media service time per block write (default 200µs).
+	WriteLatency time.Duration
+	// ReadLatency is the media service time per block read (default 100µs).
+	ReadLatency time.Duration
+	// JournalLatency is the extra cost of appending a record to a journal
+	// volume; arrays stage journal writes in battery-backed cache, so this
+	// is small (default 20µs).
+	JournalLatency time.Duration
+	// Parallelism is the controller's concurrent operation limit (default 8).
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 4096
+	}
+	if c.WriteLatency <= 0 {
+		c.WriteLatency = 200 * time.Microsecond
+	}
+	if c.ReadLatency <= 0 {
+		c.ReadLatency = 100 * time.Microsecond
+	}
+	if c.JournalLatency <= 0 {
+		c.JournalLatency = 20 * time.Microsecond
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 8
+	}
+	return c
+}
+
+// Array is one storage system (one site has exactly one).
+type Array struct {
+	env        *sim.Env
+	name       string
+	cfg        Config
+	controller *sim.Resource
+	volumes    map[VolumeID]*Volume
+	journals   map[string]*Journal
+	snapshots  map[string]*Snapshot
+	groups     map[string]*SnapshotGroup
+	globalSeq  int64 // global ack counter across all volumes
+
+	// Stats.
+	writeOps, readOps int64
+	bytesWritten      int64
+}
+
+// NewArray returns an empty array attached to the simulation environment.
+func NewArray(env *sim.Env, name string, cfg Config) *Array {
+	cfg = cfg.withDefaults()
+	return &Array{
+		env:        env,
+		name:       name,
+		cfg:        cfg,
+		controller: env.NewResource(cfg.Parallelism),
+		volumes:    make(map[VolumeID]*Volume),
+		journals:   make(map[string]*Journal),
+		snapshots:  make(map[string]*Snapshot),
+		groups:     make(map[string]*SnapshotGroup),
+	}
+}
+
+// Name returns the array name.
+func (a *Array) Name() string { return a.name }
+
+// Config returns the effective (defaulted) configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+// Env returns the simulation environment the array runs in.
+func (a *Array) Env() *sim.Env { return a.env }
+
+// CreateVolume provisions a volume of sizeBlocks blocks.
+func (a *Array) CreateVolume(id VolumeID, sizeBlocks int64) (*Volume, error) {
+	if _, ok := a.volumes[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrVolumeExists, id)
+	}
+	if sizeBlocks <= 0 {
+		return nil, fmt.Errorf("storage: volume %s: size must be positive", id)
+	}
+	v := &Volume{
+		id:         id,
+		array:      a,
+		sizeBlocks: sizeBlocks,
+		blocks:     make(map[int64][]byte),
+	}
+	a.volumes[id] = v
+	return v, nil
+}
+
+// DeleteVolume removes a volume. It fails while the volume is attached to a
+// journal or has snapshots, mirroring real array guardrails.
+func (a *Array) DeleteVolume(id VolumeID) error {
+	v, ok := a.volumes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchVolume, id)
+	}
+	if v.journal != nil {
+		return fmt.Errorf("storage: volume %s is attached to journal %s", id, v.journal.id)
+	}
+	if len(v.snapshots) > 0 {
+		return fmt.Errorf("storage: volume %s has %d snapshots", id, len(v.snapshots))
+	}
+	delete(a.volumes, id)
+	return nil
+}
+
+// Volume returns the volume with the given ID.
+func (a *Array) Volume(id VolumeID) (*Volume, error) {
+	v, ok := a.volumes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchVolume, id)
+	}
+	return v, nil
+}
+
+// ListVolumes returns all volume IDs in lexical order.
+func (a *Array) ListVolumes() []VolumeID {
+	ids := make([]VolumeID, 0, len(a.volumes))
+	for id := range a.volumes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// CreateJournal provisions an unbounded journal volume. Replication
+// engines drain it.
+func (a *Array) CreateJournal(id string) (*Journal, error) {
+	return a.CreateJournalSized(id, 0)
+}
+
+// CreateJournalSized provisions a journal volume with a finite capacity in
+// bytes (0 = unlimited). When the backlog would exceed the capacity the
+// journal overflows and the pair suspends — the real-array behaviour an
+// undersized journal volume causes under link outages.
+func (a *Array) CreateJournalSized(id string, capacityBytes int) (*Journal, error) {
+	if _, ok := a.journals[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrJournalExists, id)
+	}
+	j := newJournal(a.env, a, id, capacityBytes)
+	a.journals[id] = j
+	return j, nil
+}
+
+// Journal returns the journal with the given ID.
+func (a *Array) Journal(id string) (*Journal, error) {
+	j, ok := a.journals[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchJournal, id)
+	}
+	return j, nil
+}
+
+// DeleteJournal removes a journal after detaching all member volumes.
+func (a *Array) DeleteJournal(id string) error {
+	j, ok := a.journals[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchJournal, id)
+	}
+	for _, v := range a.volumes {
+		if v.journal == j {
+			v.journal = nil
+		}
+	}
+	delete(a.journals, id)
+	return nil
+}
+
+// AttachJournal routes a volume's future writes into the journal. Attaching
+// several volumes to one journal is exactly the array's consistency-group
+// function: the shared journal serializes their writes in ack order.
+func (a *Array) AttachJournal(vol VolumeID, journalID string) error {
+	v, ok := a.volumes[vol]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchVolume, vol)
+	}
+	j, ok := a.journals[journalID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchJournal, journalID)
+	}
+	if v.journal != nil {
+		return fmt.Errorf("%w: %s -> %s", ErrJournalAttached, vol, v.journal.id)
+	}
+	v.journal = j
+	j.members = append(j.members, vol)
+	return nil
+}
+
+// DetachJournal removes a volume from its journal.
+func (a *Array) DetachJournal(vol VolumeID) error {
+	v, ok := a.volumes[vol]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchVolume, vol)
+	}
+	if v.journal == nil {
+		return nil
+	}
+	j := v.journal
+	for i, m := range j.members {
+		if m == vol {
+			j.members = append(j.members[:i], j.members[i+1:]...)
+			break
+		}
+	}
+	v.journal = nil
+	return nil
+}
+
+// CreateConsistencyGroup is the convenience management call the replication
+// plugin uses: it provisions one journal and attaches every listed volume.
+func (a *Array) CreateConsistencyGroup(journalID string, vols []VolumeID) (*Journal, error) {
+	j, err := a.CreateJournal(journalID)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range vols {
+		if err := a.AttachJournal(id, journalID); err != nil {
+			// Roll back so a failed call leaves no partial group.
+			for _, done := range vols {
+				if done == id {
+					break
+				}
+				_ = a.DetachJournal(done)
+			}
+			delete(a.journals, journalID)
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// nextGlobalSeq stamps one write ack in the array-wide order.
+func (a *Array) nextGlobalSeq() int64 {
+	a.globalSeq++
+	return a.globalSeq
+}
+
+// WriteOps returns the total number of block writes served.
+func (a *Array) WriteOps() int64 { return a.writeOps }
+
+// ReadOps returns the total number of block reads served.
+func (a *Array) ReadOps() int64 { return a.readOps }
+
+// BytesWritten returns the total bytes written to volumes.
+func (a *Array) BytesWritten() int64 { return a.bytesWritten }
+
+func (a *Array) String() string {
+	return fmt.Sprintf("Array(%s){vols=%d journals=%d snaps=%d}", a.name, len(a.volumes), len(a.journals), len(a.snapshots))
+}

@@ -1,0 +1,539 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func block(a *Array, fill byte) []byte {
+	b := make([]byte, a.Config().BlockSize)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func newTestArray(t *testing.T) (*sim.Env, *Array) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	return env, NewArray(env, "main", Config{})
+}
+
+func TestCreateAndListVolumes(t *testing.T) {
+	_, a := newTestArray(t)
+	if _, err := a.CreateVolume("sales", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CreateVolume("stock", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CreateVolume("sales", 1); !errors.Is(err, ErrVolumeExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if _, err := a.CreateVolume("bad", 0); err == nil {
+		t.Fatal("zero-size volume accepted")
+	}
+	ids := a.ListVolumes()
+	if len(ids) != 2 || ids[0] != "sales" || ids[1] != "stock" {
+		t.Fatalf("list = %v", ids)
+	}
+	if _, err := a.Volume("nope"); !errors.Is(err, ErrNoSuchVolume) {
+		t.Fatalf("lookup missing: %v", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	env, a := newTestArray(t)
+	v, _ := a.CreateVolume("v", 10)
+	data := block(a, 0xAB)
+	var got []byte
+	env.Process("io", func(p *sim.Proc) {
+		if _, err := v.Write(p, 3, data); err != nil {
+			t.Error(err)
+			return
+		}
+		var err error
+		got, err = v.Read(p, 3)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run(0)
+	if !bytes.Equal(got, data) {
+		t.Fatal("read != written")
+	}
+	// Defensive copy: mutating the caller's buffer must not change the volume.
+	data[0] = 0xFF
+	if v.Peek(3)[0] != 0xAB {
+		t.Fatal("volume aliased caller buffer")
+	}
+}
+
+func TestUnwrittenBlocksReadZero(t *testing.T) {
+	env, a := newTestArray(t)
+	v, _ := a.CreateVolume("v", 4)
+	var got []byte
+	env.Process("io", func(p *sim.Proc) { got, _ = v.Read(p, 2) })
+	env.Run(0)
+	if !bytes.Equal(got, make([]byte, a.Config().BlockSize)) {
+		t.Fatal("unwritten block not zero")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	env, a := newTestArray(t)
+	v, _ := a.CreateVolume("v", 4)
+	env.Process("io", func(p *sim.Proc) {
+		if _, err := v.Write(p, 4, block(a, 1)); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("out of range: %v", err)
+		}
+		if _, err := v.Write(p, -1, block(a, 1)); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("negative: %v", err)
+		}
+		if _, err := v.Write(p, 0, []byte{1, 2}); !errors.Is(err, ErrBadBlockSize) {
+			t.Errorf("short write: %v", err)
+		}
+		v.SetReadOnly(true)
+		if _, err := v.Write(p, 0, block(a, 1)); !errors.Is(err, ErrReadOnly) {
+			t.Errorf("read-only: %v", err)
+		}
+	})
+	env.Run(0)
+}
+
+func TestWriteConsumesServiceTime(t *testing.T) {
+	env := sim.NewEnv(1)
+	a := NewArray(env, "m", Config{WriteLatency: time.Millisecond, Parallelism: 1})
+	v, _ := a.CreateVolume("v", 10)
+	env.Process("io", func(p *sim.Proc) {
+		for i := int64(0); i < 5; i++ {
+			if _, err := v.Write(p, i, block(a, byte(i))); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	end := env.Run(0)
+	if end != 5*time.Millisecond {
+		t.Fatalf("5 writes took %v, want 5ms", end)
+	}
+}
+
+func TestJournaledWritePaysJournalLatency(t *testing.T) {
+	env := sim.NewEnv(1)
+	a := NewArray(env, "m", Config{WriteLatency: time.Millisecond, JournalLatency: 100 * time.Microsecond})
+	v, _ := a.CreateVolume("v", 10)
+	if _, err := a.CreateJournal("j"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AttachJournal("v", "j"); err != nil {
+		t.Fatal(err)
+	}
+	env.Process("io", func(p *sim.Proc) { v.Write(p, 0, block(a, 1)) })
+	end := env.Run(0)
+	if end != 1100*time.Microsecond {
+		t.Fatalf("journaled write took %v, want 1.1ms", end)
+	}
+}
+
+func TestGlobalSeqIsMonotonicAcrossVolumes(t *testing.T) {
+	env, a := newTestArray(t)
+	v1, _ := a.CreateVolume("a", 10)
+	v2, _ := a.CreateVolume("b", 10)
+	var acks []Ack
+	env.Process("io", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			ack1, _ := v1.Write(p, int64(i), block(a, 1))
+			ack2, _ := v2.Write(p, int64(i), block(a, 2))
+			acks = append(acks, ack1, ack2)
+		}
+	})
+	env.Run(0)
+	for i := 1; i < len(acks); i++ {
+		if acks[i].GlobalSeq != acks[i-1].GlobalSeq+1 {
+			t.Fatalf("global seq not dense-monotonic: %v then %v", acks[i-1], acks[i])
+		}
+	}
+}
+
+func TestConsistencyGroupSharesOneOrder(t *testing.T) {
+	env, a := newTestArray(t)
+	a.CreateVolume("sales", 10)
+	a.CreateVolume("stock", 10)
+	j, err := a.CreateConsistencyGroup("cg", []VolumeID{"sales", "stock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := j.Members(); len(m) != 2 {
+		t.Fatalf("members = %v", m)
+	}
+	sales, _ := a.Volume("sales")
+	stock, _ := a.Volume("stock")
+	env.Process("io", func(p *sim.Proc) {
+		sales.Write(p, 0, block(a, 1))
+		stock.Write(p, 0, block(a, 2))
+		sales.Write(p, 1, block(a, 3))
+	})
+	env.Run(0)
+	var recs []Record
+	env.Process("drain", func(p *sim.Proc) { recs = j.Take(p, 0) })
+	env.Run(0)
+	if len(recs) != 3 {
+		t.Fatalf("drained %d records", len(recs))
+	}
+	wantVols := []VolumeID{"sales", "stock", "sales"}
+	for i, r := range recs {
+		if r.Seq != int64(i+1) {
+			t.Fatalf("seq %d at %d", r.Seq, i)
+		}
+		if r.Volume != wantVols[i] {
+			t.Fatalf("record %d volume = %s, want %s", i, r.Volume, wantVols[i])
+		}
+	}
+}
+
+func TestCreateConsistencyGroupRollsBackOnFailure(t *testing.T) {
+	_, a := newTestArray(t)
+	a.CreateVolume("a", 10)
+	if _, err := a.CreateConsistencyGroup("cg", []VolumeID{"a", "missing"}); err == nil {
+		t.Fatal("expected failure")
+	}
+	v, _ := a.Volume("a")
+	if v.Journal() != nil {
+		t.Fatal("rollback left volume attached")
+	}
+	if _, err := a.Journal("cg"); !errors.Is(err, ErrNoSuchJournal) {
+		t.Fatal("rollback left journal")
+	}
+}
+
+func TestAttachJournalTwiceFails(t *testing.T) {
+	_, a := newTestArray(t)
+	a.CreateVolume("v", 10)
+	a.CreateJournal("j1")
+	a.CreateJournal("j2")
+	if err := a.AttachJournal("v", "j1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AttachJournal("v", "j2"); !errors.Is(err, ErrJournalAttached) {
+		t.Fatalf("double attach: %v", err)
+	}
+	if err := a.DetachJournal("v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AttachJournal("v", "j2"); err != nil {
+		t.Fatalf("attach after detach: %v", err)
+	}
+}
+
+func TestDeleteVolumeGuardrails(t *testing.T) {
+	env, a := newTestArray(t)
+	a.CreateVolume("v", 10)
+	a.CreateJournal("j")
+	a.AttachJournal("v", "j")
+	if err := a.DeleteVolume("v"); err == nil {
+		t.Fatal("deleted journal-attached volume")
+	}
+	a.DetachJournal("v")
+	a.CreateSnapshot("s", "v")
+	if err := a.DeleteVolume("v"); err == nil {
+		t.Fatal("deleted snapped volume")
+	}
+	a.DeleteSnapshot("s")
+	if err := a.DeleteVolume("v"); err != nil {
+		t.Fatal(err)
+	}
+	_ = env
+}
+
+func TestJournalTakeBlocksUntilAppend(t *testing.T) {
+	env, a := newTestArray(t)
+	v, _ := a.CreateVolume("v", 10)
+	j, _ := a.CreateJournal("j")
+	a.AttachJournal("v", "j")
+	var recs []Record
+	var takeAt time.Duration
+	env.Process("drain", func(p *sim.Proc) {
+		recs = j.Take(p, 10)
+		takeAt = p.Now()
+	})
+	env.Process("io", func(p *sim.Proc) {
+		p.Sleep(5 * time.Millisecond)
+		v.Write(p, 0, block(a, 1))
+	})
+	env.Run(0)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if takeAt < 5*time.Millisecond {
+		t.Fatalf("take returned at %v before any append", takeAt)
+	}
+}
+
+func TestJournalTakeTimeout(t *testing.T) {
+	env, a := newTestArray(t)
+	j, _ := a.CreateJournal("j")
+	var recs []Record
+	var at time.Duration
+	env.Process("drain", func(p *sim.Proc) {
+		recs = j.TakeTimeout(p, 10, 3*time.Millisecond)
+		at = p.Now()
+	})
+	env.Run(0)
+	if recs != nil {
+		t.Fatal("expected nil on timeout")
+	}
+	if at != 3*time.Millisecond {
+		t.Fatalf("timed out at %v", at)
+	}
+}
+
+func TestJournalTakeMaxBatches(t *testing.T) {
+	env, a := newTestArray(t)
+	v, _ := a.CreateVolume("v", 100)
+	j, _ := a.CreateJournal("j")
+	a.AttachJournal("v", "j")
+	env.Process("io", func(p *sim.Proc) {
+		for i := int64(0); i < 10; i++ {
+			v.Write(p, i, block(a, byte(i)))
+		}
+	})
+	env.Run(0)
+	if j.Pending() != 10 {
+		t.Fatalf("pending = %d", j.Pending())
+	}
+	env.Process("drain", func(p *sim.Proc) {
+		b1 := j.Take(p, 4)
+		if len(b1) != 4 || b1[0].Seq != 1 || b1[3].Seq != 4 {
+			t.Errorf("batch1 = %v", b1)
+		}
+		b2 := j.Take(p, 100)
+		if len(b2) != 6 || b2[0].Seq != 5 {
+			t.Errorf("batch2 len=%d", len(b2))
+		}
+	})
+	env.Run(0)
+	if j.Pending() != 0 || j.Drained() != 10 {
+		t.Fatalf("pending=%d drained=%d", j.Pending(), j.Drained())
+	}
+}
+
+func TestJournalRPOBookkeeping(t *testing.T) {
+	env, a := newTestArray(t)
+	v, _ := a.CreateVolume("v", 10)
+	j, _ := a.CreateJournal("j")
+	a.AttachJournal("v", "j")
+	if _, ok := j.OldestPendingAck(); ok {
+		t.Fatal("empty journal reported an oldest ack")
+	}
+	env.Process("io", func(p *sim.Proc) {
+		v.Write(p, 0, block(a, 1))
+		p.Sleep(10 * time.Millisecond)
+		v.Write(p, 1, block(a, 2))
+	})
+	env.Run(0)
+	oldest, ok := j.OldestPendingAck()
+	if !ok || oldest >= 10*time.Millisecond {
+		t.Fatalf("oldest = %v ok=%v, want first write's ack time", oldest, ok)
+	}
+	if j.PendingBytes() != 2*(a.Config().BlockSize+recordHeaderBytes) {
+		t.Fatalf("pending bytes = %d", j.PendingBytes())
+	}
+}
+
+func TestSnapshotCopyOnWrite(t *testing.T) {
+	env, a := newTestArray(t)
+	v, _ := a.CreateVolume("v", 10)
+	env.Process("setup", func(p *sim.Proc) { v.Write(p, 0, block(a, 0x01)) })
+	env.Run(0)
+	s, err := a.CreateSnapshot("s", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Process("overwrite", func(p *sim.Proc) {
+		v.Write(p, 0, block(a, 0x02)) // overwrite snapped content
+		v.Write(p, 1, block(a, 0x03)) // new block after snapshot
+	})
+	env.Run(0)
+	var snap0, snap1, cur0 []byte
+	env.Process("read", func(p *sim.Proc) {
+		snap0, _ = s.Read(p, 0)
+		snap1, _ = s.Read(p, 1)
+		cur0, _ = v.Read(p, 0)
+	})
+	env.Run(0)
+	if snap0[0] != 0x01 {
+		t.Fatalf("snapshot sees %x, want pre-overwrite 01", snap0[0])
+	}
+	if snap1[0] != 0x00 {
+		t.Fatalf("snapshot sees %x for block written after snap, want zeroes", snap1[0])
+	}
+	if cur0[0] != 0x02 {
+		t.Fatalf("volume sees %x, want 02", cur0[0])
+	}
+	if s.SavedBlocks() != 2 { // block 0 original + block 1 was-unwritten marker
+		t.Fatalf("saved = %d", s.SavedBlocks())
+	}
+	if v.COWCopies() != 2 {
+		t.Fatalf("cow copies = %d", v.COWCopies())
+	}
+}
+
+func TestSnapshotRepeatedOverwritePreservesFirstOriginal(t *testing.T) {
+	env, a := newTestArray(t)
+	v, _ := a.CreateVolume("v", 4)
+	env.Process("w", func(p *sim.Proc) { v.Write(p, 0, block(a, 0xAA)) })
+	env.Run(0)
+	s, _ := a.CreateSnapshot("s", "v")
+	env.Process("w", func(p *sim.Proc) {
+		v.Write(p, 0, block(a, 0xBB))
+		v.Write(p, 0, block(a, 0xCC))
+	})
+	env.Run(0)
+	if got := s.Peek(0)[0]; got != 0xAA {
+		t.Fatalf("snapshot block = %x, want AA", got)
+	}
+	if v.COWCopies() != 1 {
+		t.Fatalf("cow copies = %d, want 1 (only first overwrite copies)", v.COWCopies())
+	}
+}
+
+func TestSnapshotGroupAtomicAndRollback(t *testing.T) {
+	env, a := newTestArray(t)
+	a.CreateVolume("sales", 4)
+	a.CreateVolume("stock", 4)
+	if _, err := a.CreateSnapshotGroup("g1", []VolumeID{"sales", "missing"}); err == nil {
+		t.Fatal("expected failure for missing volume")
+	}
+	if len(a.ListSnapshots()) != 0 {
+		t.Fatalf("rollback left snapshots: %v", a.ListSnapshots())
+	}
+	g, err := a.CreateSnapshotGroup("g2", []VolumeID{"sales", "stock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Snapshots()) != 2 {
+		t.Fatalf("group has %d snaps", len(g.Snapshots()))
+	}
+	if g.Snapshot("sales") == nil || g.Snapshot("stock") == nil || g.Snapshot("x") != nil {
+		t.Fatal("group member lookup broken")
+	}
+	for _, s := range g.Snapshots() {
+		if s.TakenAt() != g.TakenAt() {
+			t.Fatal("group members taken at different instants")
+		}
+		if s.Group() != "g2" {
+			t.Fatalf("snapshot group tag = %q", s.Group())
+		}
+	}
+	if err := a.DeleteSnapshotGroup("g2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.ListSnapshots()) != 0 {
+		t.Fatal("group delete left member snapshots")
+	}
+	_ = env
+}
+
+func TestApplyPathDoesNotJournal(t *testing.T) {
+	env, a := newTestArray(t)
+	v, _ := a.CreateVolume("v", 10)
+	j, _ := a.CreateJournal("j")
+	a.AttachJournal("v", "j")
+	env.Process("apply", func(p *sim.Proc) {
+		if err := v.Apply(p, 0, block(a, 9)); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run(0)
+	if j.Pending() != 0 {
+		t.Fatal("Apply leaked into the journal")
+	}
+	if v.Peek(0)[0] != 9 {
+		t.Fatal("Apply did not store data")
+	}
+}
+
+func TestApplyRespectsSnapshotCOW(t *testing.T) {
+	env, a := newTestArray(t)
+	v, _ := a.CreateVolume("v", 4)
+	env.Process("w", func(p *sim.Proc) { v.Write(p, 0, block(a, 0x11)) })
+	env.Run(0)
+	s, _ := a.CreateSnapshot("s", "v")
+	env.Process("apply", func(p *sim.Proc) { v.Apply(p, 0, block(a, 0x22)) })
+	env.Run(0)
+	if got := s.Peek(0)[0]; got != 0x11 {
+		t.Fatalf("snapshot lost original under Apply: %x", got)
+	}
+}
+
+func TestPokeBypassesTimeButKeepsCOW(t *testing.T) {
+	env, a := newTestArray(t)
+	v, _ := a.CreateVolume("v", 4)
+	if err := v.Poke(0, block(a, 0x01)); err != nil {
+		t.Fatal(err)
+	}
+	a.CreateSnapshot("s", "v")
+	if err := v.Poke(0, block(a, 0x02)); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := a.Snapshot("s")
+	if s.Peek(0)[0] != 0x01 {
+		t.Fatal("Poke skipped snapshot COW")
+	}
+	if env.Now() != 0 {
+		t.Fatal("Poke consumed simulated time")
+	}
+}
+
+func TestReadOnlyVolumeStillAppliesReplication(t *testing.T) {
+	env, a := newTestArray(t)
+	v, _ := a.CreateVolume("v", 4)
+	v.SetReadOnly(true)
+	env.Process("apply", func(p *sim.Proc) {
+		if err := v.Apply(p, 0, block(a, 5)); err != nil {
+			t.Errorf("apply on read-only target: %v", err)
+		}
+	})
+	env.Run(0)
+}
+
+func TestArrayStats(t *testing.T) {
+	env, a := newTestArray(t)
+	v, _ := a.CreateVolume("v", 10)
+	env.Process("io", func(p *sim.Proc) {
+		v.Write(p, 0, block(a, 1))
+		v.Read(p, 0)
+	})
+	env.Run(0)
+	if a.WriteOps() != 1 || a.ReadOps() != 1 {
+		t.Fatalf("ops = %d/%d", a.WriteOps(), a.ReadOps())
+	}
+	if a.BytesWritten() != int64(a.Config().BlockSize) {
+		t.Fatalf("bytes = %d", a.BytesWritten())
+	}
+	if v.Writes() != 1 || v.Reads() != 1 {
+		t.Fatalf("vol ops = %d/%d", v.Writes(), v.Reads())
+	}
+}
+
+func TestWrittenBlocksSorted(t *testing.T) {
+	env, a := newTestArray(t)
+	v, _ := a.CreateVolume("v", 100)
+	env.Process("io", func(p *sim.Proc) {
+		for _, b := range []int64{42, 7, 99, 0} {
+			v.Write(p, b, block(a, 1))
+		}
+	})
+	env.Run(0)
+	got := v.WrittenBlocks()
+	want := []int64{0, 7, 42, 99}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("blocks = %v", got)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Volume is a block-addressed logical device. Blocks not yet written read as
+// zeroes. Writes are acknowledged only after the controller has stored the
+// data and, when the volume belongs to a journal (replication is enabled),
+// appended the update log — this is the ack-order guarantee §I relies on.
+type Volume struct {
+	id         VolumeID
+	array      *Array
+	sizeBlocks int64
+	blocks     map[int64][]byte
+	journal    *Journal
+	snapshots  []*Snapshot
+	readOnly   bool
+
+	writes, reads int64
+	cowCopies     int64 // blocks preserved for snapshots (write amplification)
+
+	// changed records blocks written since StartChangeTracking — the
+	// delta-resync bitmap real arrays keep for failback. nil = off.
+	changed map[int64]bool
+}
+
+// StartChangeTracking begins recording written block indexes (resets any
+// previous record). Replication failover turns this on for its targets so
+// failback can resynchronize only the delta.
+func (v *Volume) StartChangeTracking() { v.changed = make(map[int64]bool) }
+
+// StopChangeTracking discards the change record.
+func (v *Volume) StopChangeTracking() { v.changed = nil }
+
+// ChangedBlocks returns the blocks written since StartChangeTracking, in
+// ascending order.
+func (v *Volume) ChangedBlocks() []int64 {
+	out := make([]int64, 0, len(v.changed))
+	for b := range v.changed {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (v *Volume) noteChange(block int64) {
+	if v.changed != nil {
+		v.changed[block] = true
+	}
+}
+
+// ID returns the volume's identifier.
+func (v *Volume) ID() VolumeID { return v.id }
+
+// SizeBlocks returns the provisioned size in blocks.
+func (v *Volume) SizeBlocks() int64 { return v.sizeBlocks }
+
+// BlockSize returns the array's block size in bytes.
+func (v *Volume) BlockSize() int { return v.array.cfg.BlockSize }
+
+// Journal returns the attached journal, or nil when replication is off.
+func (v *Volume) Journal() *Journal { return v.journal }
+
+// SetReadOnly toggles write protection (used on backup-site volumes while
+// they are replication targets).
+func (v *Volume) SetReadOnly(ro bool) { v.readOnly = ro }
+
+// ReadOnly reports whether writes are rejected.
+func (v *Volume) ReadOnly() bool { return v.readOnly }
+
+// Writes returns the number of block writes served.
+func (v *Volume) Writes() int64 { return v.writes }
+
+// Reads returns the number of block reads served.
+func (v *Volume) Reads() int64 { return v.reads }
+
+// COWCopies returns how many original blocks were preserved for snapshots —
+// the snapshot write amplification measured in experiment E3.
+func (v *Volume) COWCopies() int64 { return v.cowCopies }
+
+// Ack describes a completed write as seen by the host.
+type Ack struct {
+	Volume    VolumeID
+	Block     int64
+	GlobalSeq int64         // array-wide ack order
+	GroupSeq  int64         // journal (consistency-group) order; 0 if unjournaled
+	AckedAt   time.Duration // virtual time of the ack
+}
+
+// Write stores one block, consuming simulated controller and media time, and
+// returns the ack. Data length must equal the array block size.
+func (v *Volume) Write(p *sim.Proc, block int64, data []byte) (Ack, error) {
+	if v.readOnly {
+		return Ack{}, fmt.Errorf("%w: %s", ErrReadOnly, v.id)
+	}
+	if block < 0 || block >= v.sizeBlocks {
+		return Ack{}, fmt.Errorf("%w: %s[%d]", ErrOutOfRange, v.id, block)
+	}
+	if len(data) != v.array.cfg.BlockSize {
+		return Ack{}, fmt.Errorf("%w: got %d want %d", ErrBadBlockSize, len(data), v.array.cfg.BlockSize)
+	}
+	v.array.controller.Acquire(p)
+	p.Sleep(v.array.cfg.WriteLatency)
+	if v.journal != nil {
+		p.Sleep(v.array.cfg.JournalLatency)
+	}
+	v.array.controller.Release()
+	return v.commit(p.Now(), block, data), nil
+}
+
+// commit applies a write without consuming time; Write and the replication
+// apply path share it. The caller has already paid the service time.
+func (v *Volume) commit(now time.Duration, block int64, data []byte) Ack {
+	v.preserveForSnapshots(block)
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	v.blocks[block] = buf
+	v.noteChange(block)
+	v.writes++
+	v.array.writeOps++
+	v.array.bytesWritten += int64(len(data))
+	ack := Ack{
+		Volume:    v.id,
+		Block:     block,
+		GlobalSeq: v.array.nextGlobalSeq(),
+		AckedAt:   now,
+	}
+	if v.journal != nil {
+		switch {
+		case v.journal.overflowed:
+			// Pair suspended: the write is not journaled; change tracking
+			// (started at overflow) records it for the eventual resync.
+		case v.journal.capacityBytes > 0 &&
+			v.journal.PendingBytes()+len(buf)+recordHeaderBytes > v.journal.capacityBytes:
+			v.journal.overflow()
+			v.noteChange(block) // tracking started just now; cover this write
+		default:
+			ack.GroupSeq = v.journal.append(v.id, block, buf, ack.GlobalSeq, now)
+		}
+	}
+	return ack
+}
+
+// preserveForSnapshots copies the current block content into every snapshot
+// that has not yet saved it (copy-on-write).
+func (v *Volume) preserveForSnapshots(block int64) {
+	for _, s := range v.snapshots {
+		if _, saved := s.saved[block]; saved {
+			continue
+		}
+		cur := v.blocks[block]
+		var orig []byte
+		if cur != nil {
+			orig = make([]byte, len(cur))
+			copy(orig, cur)
+		}
+		s.saved[block] = orig // nil means "was unwritten (zeroes)"
+		v.cowCopies++
+	}
+}
+
+// Read returns a copy of one block, consuming simulated read service time.
+// Unwritten blocks read as zeroes.
+func (v *Volume) Read(p *sim.Proc, block int64) ([]byte, error) {
+	if block < 0 || block >= v.sizeBlocks {
+		return nil, fmt.Errorf("%w: %s[%d]", ErrOutOfRange, v.id, block)
+	}
+	v.array.controller.Acquire(p)
+	p.Sleep(v.array.cfg.ReadLatency)
+	v.array.controller.Release()
+	v.reads++
+	v.array.readOps++
+	return v.copyBlock(block), nil
+}
+
+// copyBlock returns a defensive copy of the block (zeroes if unwritten).
+func (v *Volume) copyBlock(block int64) []byte {
+	out := make([]byte, v.array.cfg.BlockSize)
+	if cur, ok := v.blocks[block]; ok {
+		copy(out, cur)
+	}
+	return out
+}
+
+// Peek returns the block contents without consuming simulated time. It is
+// the verification back door used by the consistency checker; production
+// code paths must use Read.
+func (v *Volume) Peek(block int64) []byte { return v.copyBlock(block) }
+
+// Poke installs block contents without consuming time or journaling; the
+// replication initial-copy path and test fixtures use it. Snapshots still
+// observe the overwrite (COW fires) so backup-site snapshots stay correct.
+func (v *Volume) Poke(block int64, data []byte) error {
+	if block < 0 || block >= v.sizeBlocks {
+		return fmt.Errorf("%w: %s[%d]", ErrOutOfRange, v.id, block)
+	}
+	if len(data) != v.array.cfg.BlockSize {
+		return fmt.Errorf("%w: got %d want %d", ErrBadBlockSize, len(data), v.array.cfg.BlockSize)
+	}
+	v.preserveForSnapshots(block)
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	v.blocks[block] = buf
+	v.noteChange(block)
+	return nil
+}
+
+// Apply is the replication-target write path: it stores the block after the
+// media service time but never journals (targets do not re-replicate) and
+// ignores read-only protection (the replication engine owns the target).
+func (v *Volume) Apply(p *sim.Proc, block int64, data []byte) error {
+	if block < 0 || block >= v.sizeBlocks {
+		return fmt.Errorf("%w: %s[%d]", ErrOutOfRange, v.id, block)
+	}
+	if len(data) != v.array.cfg.BlockSize {
+		return fmt.Errorf("%w: got %d want %d", ErrBadBlockSize, len(data), v.array.cfg.BlockSize)
+	}
+	v.array.controller.Acquire(p)
+	p.Sleep(v.array.cfg.WriteLatency)
+	v.array.controller.Release()
+	v.preserveForSnapshots(block)
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	v.blocks[block] = buf
+	v.noteChange(block)
+	v.writes++
+	v.array.writeOps++
+	v.array.bytesWritten += int64(len(data))
+	return nil
+}
+
+// WrittenBlocks returns the indexes of blocks that have been written, in
+// ascending order (verification helper).
+func (v *Volume) WrittenBlocks() []int64 {
+	out := make([]int64, 0, len(v.blocks))
+	for b := range v.blocks {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (v *Volume) String() string {
+	return fmt.Sprintf("Volume(%s/%s){%d blocks, %d written}", v.array.name, v.id, v.sizeBlocks, len(v.blocks))
+}
