@@ -1,0 +1,39 @@
+# CI entry points. `make ci` is what the build gate runs: format check,
+# vet, build, full tests, and a 1x-iteration bench smoke across every
+# experiment harness. `make baseline` regenerates BENCH_baseline.json.
+
+GO ?= go
+
+.PHONY: ci fmt vet build test bench-smoke baseline
+
+ci: fmt vet build test bench-smoke
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# One iteration of every experiment benchmark: catches harness regressions
+# without paying for a statistically meaningful measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Record the bench numbers as JSON (one entry per harness). Compare against
+# the committed BENCH_baseline.json to spot wall-cost regressions.
+baseline:
+	$(GO) test -run '^$$' -bench . -benchtime 3x . | awk ' \
+		BEGIN { print "["; first = 1 } \
+		/^Benchmark/ { \
+			if (!first) printf(",\n"); first = 0; \
+			printf("  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}", $$1, $$2, $$3) \
+		} \
+		END { print "\n]" }' > BENCH_baseline.json
+	@cat BENCH_baseline.json

@@ -1,7 +1,7 @@
 // Package repro's root benchmarks regenerate every paper artifact (one
 // bench per experiment; see DESIGN.md's index). The benchmarks measure the
 // harness's wall cost; the scientific results are the simulated-time tables
-// each harness prints via cmd/experiments and records in EXPERIMENTS.md.
+// each harness prints via cmd/experiments.
 package repro
 
 import (
@@ -124,6 +124,22 @@ func BenchmarkE9_Ablations(b *testing.B) {
 		}
 		if _, err := experiments.E9SkewSweep(int64(i+1), []float64{-1, 1.5}, 60); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11_FleetScale regenerates E11: 64 tenant namespaces on one
+// shared two-site system, mixed OLTP + snapshot analytics + mid-run
+// failovers, with per-tenant cross-volume consistency verified. This is the
+// fleet-scale stress the sim-kernel and commit-path fast paths exist for.
+func BenchmarkE11_FleetScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E11FleetScale(int64(i+1), 64, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Verified != res.Tenants || res.Collapsed != 0 {
+			b.Fatalf("fleet inconsistent: %+v", res)
 		}
 	}
 }

@@ -1,6 +1,6 @@
 // Command experiments regenerates every table/figure of the reproduction
-// (E1-E9; see DESIGN.md for the index and EXPERIMENTS.md for the recorded
-// results). Select a subset with -run.
+// (E1-E11; DESIGN.md carries the experiment index). Select a subset with
+// -run.
 package main
 
 import (
@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment IDs (e1,e2,...,e9) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment IDs (e1,e2,...,e11) or 'all'")
 	seed := flag.Int64("seed", 1, "base simulation seed")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	flag.Parse()
@@ -108,6 +108,17 @@ func main() {
 			log.Fatalf("E10: %v", err)
 		}
 		fmt.Println(experiments.E10Table(res))
+	}
+	if sel("e11") {
+		tenants := 100
+		if *quick {
+			tenants = 24
+		}
+		res, err := experiments.E11FleetScale(*seed, tenants, 8)
+		if err != nil {
+			log.Fatalf("E11: %v", err)
+		}
+		fmt.Println(experiments.E11Table(res))
 	}
 	if sel("e9") {
 		batch, err := experiments.E9BatchSweep(*seed, []int{1, 4, 16, 64, 256}, orders)

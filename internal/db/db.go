@@ -79,6 +79,15 @@ type DB struct {
 	committed map[uint64]bool
 	mu        *sim.Resource // serializes commits and checkpoints
 
+	// Commit-path scratch, reused under mu so steady-state commits do not
+	// allocate per record (the E11 fleet runs hundreds of databases).
+	encBuf     []byte   // all of one transaction's encoded records
+	encOffs    []int    // record end offsets in encBuf
+	encSlices  [][]byte // per-record views into encBuf
+	sizeBuf    []int    // per-record encoded sizes
+	probeBuf   []byte   // page copy for pre-commit room probing
+	blkScratch []byte   // block staging for WAL/superblock writes
+
 	// Stats.
 	commits         int64
 	walWrites       int64
@@ -248,52 +257,82 @@ func (d *DB) walCapacity() int { return d.blockSize - wal.BlockHeaderSize }
 // (possibly partial) head block. The head block is rewritten in place as it
 // fills across commits; the block header's (epoch, seq) keeps scans honest.
 func (d *DB) flushWAL(p *sim.Proc, encodedRecs [][]byte) error {
-	type sealedBlock struct {
-		seq  uint32
-		data []byte
+	// Dry-run the packing before touching any state. The overflow error used
+	// to fire mid-seal, leaving walSeq past the region end and walBuf reset —
+	// a state in which a later head-block write would have landed on the
+	// first data page.
+	sizes := d.sizeBuf[:0]
+	for _, rec := range encodedRecs {
+		sizes = append(sizes, len(rec))
 	}
-	var out []sealedBlock
+	d.sizeBuf = sizes
+	if seq, _ := d.walEndPosition(sizes); seq >= d.cfg.WALBlocks {
+		return fmt.Errorf("db: %s: WAL overflow during flush", d.name)
+	}
 	for _, rec := range encodedRecs {
 		if len(d.walBuf)+len(rec) > d.walCapacity() {
-			out = append(out, sealedBlock{d.walSeq, append([]byte(nil), d.walBuf...)})
+			if err := d.writeWALBlock(p, d.walSeq, d.walBuf); err != nil {
+				return err
+			}
 			d.walSeq++
 			d.walBuf = d.walBuf[:0]
-			if int(d.walSeq) >= d.cfg.WALBlocks {
-				return fmt.Errorf("db: %s: WAL overflow during flush", d.name)
-			}
 		}
 		d.walBuf = append(d.walBuf, rec...)
 	}
-	out = append(out, sealedBlock{d.walSeq, d.walBuf})
-	for _, sb := range out {
-		blk := make([]byte, d.blockSize)
-		wal.PutBlockHeader(blk, d.epoch, sb.seq)
-		copy(blk[wal.BlockHeaderSize:], sb.data)
-		if _, err := d.vol.Write(p, d.walBase+int64(sb.seq), blk); err != nil {
-			return err
-		}
-		d.walWrites++
+	return d.writeWALBlock(p, d.walSeq, d.walBuf)
+}
+
+// writeWALBlock stages one WAL block in the reusable scratch and writes it
+// (the volume copies the data, so the scratch can be reused immediately).
+func (d *DB) writeWALBlock(p *sim.Proc, seq uint32, recs []byte) error {
+	blk := d.scratchBlock()
+	wal.PutBlockHeader(blk, d.epoch, seq)
+	copy(blk[wal.BlockHeaderSize:], recs)
+	if _, err := d.vol.Write(p, d.walBase+int64(seq), blk); err != nil {
+		return err
 	}
+	d.walWrites++
 	return nil
 }
 
-// walFits reports whether records of the given encoded sizes can be packed
-// into the remaining WAL region from the current head position, honoring
-// the records-never-span-blocks rule.
-func (d *DB) walFits(sizes []int) bool {
-	seq := int(d.walSeq)
-	buf := len(d.walBuf)
+// scratchBlock returns the zeroed block-size staging buffer.
+func (d *DB) scratchBlock() []byte {
+	if d.blkScratch == nil {
+		d.blkScratch = make([]byte, d.blockSize)
+	} else {
+		clear(d.blkScratch)
+	}
+	return d.blkScratch
+}
+
+// walEndPosition returns the head position (block index within the WAL
+// region, bytes used in that block) after packing records of the given
+// sizes from the current head, honoring the records-never-span-blocks
+// rule. It is the single definition of the packing rule that walFits and
+// flushWAL's overflow dry-run share; it does not bounds-check the region.
+func (d *DB) walEndPosition(sizes []int) (seq, buf int) {
+	seq, buf = int(d.walSeq), len(d.walBuf)
 	for _, n := range sizes {
 		if buf+n > d.walCapacity() {
 			seq++
 			buf = 0
-			if seq >= d.cfg.WALBlocks {
-				return false
-			}
 		}
 		buf += n
 	}
-	return true
+	return seq, buf
+}
+
+// walFits reports whether records of the given encoded sizes can be packed
+// into the remaining WAL region from the current head position.
+func (d *DB) walFits(sizes []int) bool {
+	if int(d.walSeq) >= d.cfg.WALBlocks {
+		// Head already past the region end (cannot happen unless state was
+		// corrupted, but the last-block boundary must fail closed here, not
+		// pass because no record happens to cross a block boundary).
+		return false
+	}
+	seq, _ := d.walEndPosition(sizes)
+	return seq < d.cfg.WALBlocks
 }
 
 // Checkpoint flushes dirty pages, bumps the log epoch, and resets the WAL
@@ -375,7 +414,7 @@ type superblock struct {
 }
 
 func (d *DB) writeSuperblock(p *sim.Proc) error {
-	blk := make([]byte, d.blockSize)
+	blk := d.scratchBlock()
 	binary.LittleEndian.PutUint32(blk[0:4], sbMagic)
 	binary.LittleEndian.PutUint16(blk[4:6], sbVersion)
 	binary.LittleEndian.PutUint32(blk[6:10], d.epoch)

@@ -73,6 +73,34 @@ func (t *Txn) Get(p *sim.Proc, key uint64) ([]byte, bool, error) {
 // Abort discards the transaction. Nothing was written, so it is free.
 func (t *Txn) Abort() { t.done = true }
 
+// encode writes the transaction's update and commit records, stamped with
+// the database's current epoch, into the DB's reusable encode buffers and
+// returns per-record views. Record boundaries are observed while encoding
+// (not derived from pre-computed sizes), so the views stay correct even if
+// the encoded size of a record ever depends on its content or epoch.
+func (t *Txn) encode() [][]byte {
+	d := t.db
+	d.encBuf = d.encBuf[:0]
+	d.encOffs = d.encOffs[:0]
+	for _, u := range t.updates {
+		d.encBuf = wal.AppendEncode(d.encBuf, wal.Record{
+			Type: wal.TypeUpdate, Epoch: d.epoch, TxID: t.id, Key: u.Key, Val: u.Val,
+		})
+		d.encOffs = append(d.encOffs, len(d.encBuf))
+	}
+	d.encBuf = wal.AppendEncode(d.encBuf, wal.Record{
+		Type: wal.TypeCommit, Epoch: d.epoch, TxID: t.id,
+	})
+	d.encOffs = append(d.encOffs, len(d.encBuf))
+	d.encSlices = d.encSlices[:0]
+	start := 0
+	for _, end := range d.encOffs {
+		d.encSlices = append(d.encSlices, d.encBuf[start:end])
+		start = end
+	}
+	return d.encSlices
+}
+
 // Commit makes the transaction durable: WAL records (updates + commit) are
 // flushed to the volume, then the updates are applied to the in-memory
 // pages. The ack the caller gets back is the database commit ack whose
@@ -88,36 +116,38 @@ func (t *Txn) Commit(p *sim.Proc) error {
 	d.mu.Acquire(p)
 	defer d.mu.Release()
 	// Verify each update lands on a page with room, before logging anything.
+	// The probe buffer is reused across updates (and commits); each update is
+	// probed against a fresh copy of its clean page.
+	if d.probeBuf == nil {
+		d.probeBuf = make([]byte, d.blockSize)
+	}
 	for _, u := range t.updates {
 		page, err := d.loadPage(p, d.pageBlock(u.Key))
 		if err != nil {
 			return err
 		}
-		probe := make([]byte, len(page))
-		copy(probe, page)
-		if err := pageUpsert(probe, u); err != nil {
+		copy(d.probeBuf, page)
+		if err := pageUpsert(d.probeBuf, u); err != nil {
 			return err
 		}
 	}
-	// Encode the log entries.
-	encoded := make([][]byte, 0, len(t.updates)+1)
+	// Size the log entries before encoding anything, so the fit check (and
+	// any checkpoint it forces) happens first and the records are encoded
+	// exactly once, with the final epoch.
+	sizes := d.sizeBuf[:0]
 	var totalBytes int
 	for _, u := range t.updates {
-		rec := wal.Record{Type: wal.TypeUpdate, Epoch: d.epoch, TxID: t.id, Key: u.Key, Val: u.Val}
-		if rec.EncodedSize() > d.walCapacity() {
-			return fmt.Errorf("%w: record %d bytes", ErrTxnTooLarge, rec.EncodedSize())
+		n := wal.Record{Type: wal.TypeUpdate, TxID: t.id, Key: u.Key, Val: u.Val}.EncodedSize()
+		if n > d.walCapacity() {
+			return fmt.Errorf("%w: record %d bytes", ErrTxnTooLarge, n)
 		}
-		encoded = append(encoded, wal.AppendEncode(nil, rec))
-		totalBytes += rec.EncodedSize()
+		sizes = append(sizes, n)
+		totalBytes += n
 	}
-	commitRec := wal.Record{Type: wal.TypeCommit, Epoch: d.epoch, TxID: t.id}
-	encoded = append(encoded, wal.AppendEncode(nil, commitRec))
-	totalBytes += commitRec.EncodedSize()
-
-	sizes := make([]int, len(encoded))
-	for i, e := range encoded {
-		sizes[i] = len(e)
-	}
+	commitSize := wal.Record{Type: wal.TypeCommit, TxID: t.id}.EncodedSize()
+	sizes = append(sizes, commitSize)
+	totalBytes += commitSize
+	d.sizeBuf = sizes
 	// Make room: a checkpoint empties the WAL but must not run between a
 	// transaction's records, so take it up front when the packing check
 	// says the records will not fit in the remaining region.
@@ -128,18 +158,8 @@ func (t *Txn) Commit(p *sim.Proc) error {
 		if !d.walFits(sizes) {
 			return fmt.Errorf("%w: %d bytes", ErrTxnTooLarge, totalBytes)
 		}
-		// Re-stamp records with the new epoch.
-		encoded = encoded[:0]
-		for _, u := range t.updates {
-			encoded = append(encoded, wal.AppendEncode(nil, wal.Record{
-				Type: wal.TypeUpdate, Epoch: d.epoch, TxID: t.id, Key: u.Key, Val: u.Val,
-			}))
-		}
-		encoded = append(encoded, wal.AppendEncode(nil, wal.Record{
-			Type: wal.TypeCommit, Epoch: d.epoch, TxID: t.id,
-		}))
 	}
-	if err := d.flushWAL(p, encoded); err != nil {
+	if err := d.flushWAL(p, t.encode()); err != nil {
 		return err
 	}
 	// The transaction is durable; apply to memory pages (no-force).

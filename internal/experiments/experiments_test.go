@@ -288,3 +288,24 @@ func TestE9SkewInsensitive(t *testing.T) {
 	}
 	t.Log("\n" + E9SkewTable(results).String())
 }
+
+func TestE11FleetAllTenantsConsistentAfterMixedRun(t *testing.T) {
+	res, err := E11FleetScale(3, 24, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tenants != 24 || res.Verified != 24 || res.Collapsed != 0 {
+		t.Fatalf("fleet verdicts wrong: %+v", res)
+	}
+	if res.FailedOver == 0 || res.Analytics == 0 {
+		t.Fatalf("mixed workload degenerate: %+v", res)
+	}
+	if res.OrdersPlaced == 0 || res.BackupApplied == 0 {
+		t.Fatalf("fleet did no work: %+v", res)
+	}
+	// Failover tenants stop mid-run without catch-up, so the fleet-wide
+	// order count must be below the no-disaster maximum.
+	if res.OrdersPlaced >= int64(24*6) {
+		t.Fatalf("failover tenants should cut order volume: %+v", res)
+	}
+}

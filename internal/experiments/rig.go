@@ -1,8 +1,8 @@
 // Package experiments contains one harness per paper artifact (Figures 1-6
-// and the §I claims), each regenerating the corresponding result as a
-// plain-text table. DESIGN.md carries the experiment index (E1-E9) and
-// EXPERIMENTS.md the paper-vs-measured record. cmd/experiments runs them
-// all; the root bench_test.go wraps each in a testing.B benchmark.
+// and the §I claims) plus the scale-out experiments that grow past the
+// paper, each regenerating its result as a plain-text table. DESIGN.md
+// carries the experiment index (E1-E11). cmd/experiments runs them all; the
+// root bench_test.go wraps each in a testing.B benchmark.
 package experiments
 
 import (

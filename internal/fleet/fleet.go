@@ -1,0 +1,293 @@
+// Package fleet scales the two-site demonstration system of internal/core
+// from one business process to many tenant namespaces sharing one simulated
+// infrastructure: one main array, one backup array, one inter-site link, one
+// operator. Each tenant gets its own namespace, its own sales/stock
+// databases, its own shared-journal consistency group, and its own ADC
+// drain. The fleet then runs a mixed workload — OLTP commits on every
+// tenant, snapshot analytics on a subset, and a mid-run site failover for
+// another subset — and verifies per-tenant cross-volume consistency, which
+// is the paper's central claim pushed to production-fleet scale (E11).
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/operator"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Config tunes a fleet run. Zero values take scale-appropriate defaults.
+type Config struct {
+	// Tenants is the number of tenant namespaces (default 16).
+	Tenants int
+	// OrdersPerTenant is the OLTP load per tenant (default 10). Half is
+	// placed before the mid-run events, half after.
+	OrdersPerTenant int
+	// FailoverFraction is the share of tenants hit by the mid-run site
+	// failover (default 0.25, at least one tenant).
+	FailoverFraction float64
+	// AnalyticsFraction is the share of tenants that run snapshot analytics
+	// mid-run (default 0.25, at least one tenant).
+	AnalyticsFraction float64
+	// ReadyTimeout bounds each tenant's wait for replication Ready; fleets
+	// enable backup concurrently, so this scales with Tenants (default 5m).
+	ReadyTimeout time.Duration
+	// Horizon bounds the simulation (default 4h of virtual time).
+	Horizon time.Duration
+	// Workload tunes each tenant's shop (seed is offset per tenant).
+	Workload workload.Config
+	// System configures the shared two-site system.
+	System core.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tenants <= 0 {
+		c.Tenants = 16
+	}
+	if c.OrdersPerTenant <= 0 {
+		c.OrdersPerTenant = 10
+	}
+	if c.FailoverFraction <= 0 {
+		c.FailoverFraction = 0.25
+	}
+	if c.AnalyticsFraction <= 0 {
+		c.AnalyticsFraction = 0.25
+	}
+	if c.ReadyTimeout <= 0 {
+		c.ReadyTimeout = 5 * time.Minute
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 4 * time.Hour
+	}
+	return c
+}
+
+// Tenant is one namespace's state and verdicts.
+type Tenant struct {
+	Namespace string
+	Index     int
+	BP        *core.BusinessProcess
+
+	// Roles in the mixed workload.
+	Failover  bool // hit by the mid-run site failover
+	Analytics bool // runs snapshot analytics mid-run
+
+	// Outcomes.
+	TimeToReady     time.Duration
+	OrdersPlaced    int64
+	AnalyticsOrders int  // orders the mid-run snapshot analytics saw (-1 = none ran)
+	Verified        bool // final consistency verification ran and passed
+	Report          consistency.Report
+	RecoveryTime    time.Duration // failover tenants: simulated downtime
+	Err             error
+}
+
+// Fleet is a provisioned multi-tenant system.
+type Fleet struct {
+	Sys     *core.System
+	Cfg     Config
+	Tenants []*Tenant
+}
+
+// New builds the shared system and the tenant roster. Tenant roles are
+// assigned round-robin so failover and analytics tenants interleave with
+// plain OLTP tenants deterministically.
+func New(cfg Config) *Fleet {
+	cfg = cfg.withDefaults()
+	f := &Fleet{Sys: core.NewSystem(cfg.System), Cfg: cfg}
+	nFail := max(1, int(float64(cfg.Tenants)*cfg.FailoverFraction))
+	nAna := max(1, int(float64(cfg.Tenants)*cfg.AnalyticsFraction))
+	for i := 0; i < cfg.Tenants; i++ {
+		t := &Tenant{
+			Namespace:       fmt.Sprintf("tenant-%03d", i),
+			Index:           i,
+			AnalyticsOrders: -1,
+		}
+		// Interleave roles: failover tenants from the front, analytics from
+		// the back, so both mix with plain tenants in namespace order.
+		t.Failover = i < nFail
+		t.Analytics = !t.Failover && i >= cfg.Tenants-nAna
+		f.Tenants = append(f.Tenants, t)
+	}
+	return f
+}
+
+// Run provisions every tenant and drives the mixed workload to completion,
+// returning the first tenant error (each tenant's own error is also kept on
+// the Tenant). It owns the environment: callers must not call Env.Run.
+func (f *Fleet) Run() error {
+	for _, t := range f.Tenants {
+		t := t
+		f.Sys.Env.Process("tenant:"+t.Namespace, func(p *sim.Proc) {
+			t.Err = f.runTenant(p, t)
+		})
+	}
+	f.Sys.Env.Run(f.Cfg.Horizon)
+	for _, t := range f.Tenants {
+		if t.Err != nil {
+			return fmt.Errorf("fleet: %s: %w", t.Namespace, t.Err)
+		}
+		if !t.Verified {
+			return fmt.Errorf("fleet: %s: workload never completed (simulation horizon hit?)", t.Namespace)
+		}
+	}
+	return nil
+}
+
+// runTenant is one tenant's full life: provision, enable backup, OLTP with
+// mid-run analytics or failover, and a final consistency verification.
+func (f *Fleet) runTenant(p *sim.Proc, t *Tenant) error {
+	bp, err := f.Sys.DeployBusinessProcess(p, t.Namespace)
+	if err != nil {
+		return fmt.Errorf("deploy: %w", err)
+	}
+	t.BP = bp
+	wcfg := f.Cfg.Workload
+	wcfg.Seed = f.Cfg.System.Seed + int64(t.Index)*7919
+	bp.Shop = workload.NewShop(f.Sys.Env, bp.Sales, bp.Stock, wcfg)
+
+	start := p.Now()
+	if err := f.enableBackup(p, t.Namespace); err != nil {
+		return fmt.Errorf("enable backup: %w", err)
+	}
+	t.TimeToReady = p.Now() - start
+
+	// Phase 1: first half of the OLTP load on every tenant concurrently.
+	half := f.Cfg.OrdersPerTenant / 2
+	if err := bp.Shop.Run(p, half); err != nil {
+		return fmt.Errorf("phase 1: %w", err)
+	}
+
+	if t.Analytics {
+		// Mid-run snapshot analytics: catch the drain up, group-snapshot the
+		// backup volumes, and read the snapshot while OLTP continues on
+		// other tenants.
+		f.Sys.CatchUp(p, t.Namespace)
+		if err := f.verifySnapshot(p, t, "midrun"); err != nil {
+			return fmt.Errorf("analytics: %w", err)
+		}
+		t.AnalyticsOrders = t.Report.SalesTxns
+	}
+
+	if t.Failover {
+		// Mid-run disaster: NO catch-up — whatever is in flight is lost, and
+		// the recovered image must still be a consistent cut.
+		fo, err := f.Sys.Failover(p, t.Namespace)
+		if err != nil {
+			return fmt.Errorf("failover: %w", err)
+		}
+		t.RecoveryTime = fo.RecoveryTime
+		t.Report = consistency.Verify(fo.Sales, fo.Stock, bp.Shop.SalesCommitOrder(), bp.Shop.StockCommitOrder())
+		t.Verified = !t.Report.Collapsed() && t.Report.OrderingOK()
+		t.OrdersPlaced = bp.Shop.Completed.Value()
+		if !t.Verified {
+			return fmt.Errorf("failover image inconsistent: %v", t.Report)
+		}
+		return nil
+	}
+
+	// Phase 2: remaining load, then drain and verify the backup image.
+	if err := bp.Shop.Run(p, f.Cfg.OrdersPerTenant-half); err != nil {
+		return fmt.Errorf("phase 2: %w", err)
+	}
+	t.OrdersPlaced = bp.Shop.Completed.Value()
+	f.Sys.CatchUp(p, t.Namespace)
+	if err := f.verifySnapshot(p, t, "final"); err != nil {
+		return err
+	}
+	t.Verified = !t.Report.Collapsed() && t.Report.OrderingOK()
+	if !t.Verified {
+		return fmt.Errorf("backup image inconsistent: %v", t.Report)
+	}
+	return nil
+}
+
+// enableBackup tags the namespace and waits Ready with the fleet's timeout
+// (core.EnableBackup's fixed 30s is too tight when every tenant configures
+// replication at once).
+func (f *Fleet) enableBackup(p *sim.Proc, namespace string) error {
+	obj, err := f.Sys.Main.API.Get(p, platform.ObjectKey{Kind: platform.KindNamespace, Name: namespace})
+	if err != nil {
+		return err
+	}
+	ns := obj.(*platform.Namespace)
+	if ns.Labels == nil {
+		ns.Labels = map[string]string{}
+	}
+	ns.Labels[operator.Tag] = operator.TagValue
+	if err := f.Sys.Main.API.Update(p, ns); err != nil {
+		return err
+	}
+	return f.Sys.WaitBackupReady(p, namespace, f.Cfg.ReadyTimeout)
+}
+
+// verifySnapshot group-snapshots the tenant's backup volumes, opens
+// analytics views on the snapshot, checks the analytics can actually read
+// it, and records the consistency verdict on the tenant.
+func (f *Fleet) verifySnapshot(p *sim.Proc, t *Tenant, tag string) error {
+	group, err := f.Sys.SnapshotBackup(p, t.Namespace, t.Namespace+"-"+tag)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	salesView, stockView, err := f.Sys.AnalyticsDBs(p, t.Namespace, group)
+	if err != nil {
+		return fmt.Errorf("analytics views: %w", err)
+	}
+	if _, err := analytics.Sales(p, salesView); err != nil {
+		return fmt.Errorf("analytics read: %w", err)
+	}
+	t.Report = consistency.Verify(salesView, stockView, t.BP.Shop.SalesCommitOrder(), t.BP.Shop.StockCommitOrder())
+	return nil
+}
+
+// Totals aggregates fleet-wide outcome counters.
+type Totals struct {
+	Tenants, FailedOver, Analytics int
+	Verified, Collapsed            int
+	OrdersPlaced                   int64
+	LostTxns                       int // replication lag cut off by failovers
+	MaxTimeToReady                 time.Duration
+	MeanTimeToReady                time.Duration
+	MeanRecovery                   time.Duration // over failover tenants
+}
+
+// Totals sums the per-tenant outcomes.
+func (f *Fleet) Totals() Totals {
+	var tot Totals
+	var readySum, recoverySum time.Duration
+	for _, t := range f.Tenants {
+		tot.Tenants++
+		tot.OrdersPlaced += t.OrdersPlaced
+		if t.Failover {
+			tot.FailedOver++
+			recoverySum += t.RecoveryTime
+			tot.LostTxns += t.Report.LostSalesTxns + t.Report.LostStockTxns
+		}
+		if t.Analytics {
+			tot.Analytics++
+		}
+		if t.Verified {
+			tot.Verified++
+		}
+		if t.Report.Collapsed() {
+			tot.Collapsed++
+		}
+		readySum += t.TimeToReady
+		if t.TimeToReady > tot.MaxTimeToReady {
+			tot.MaxTimeToReady = t.TimeToReady
+		}
+	}
+	if tot.Tenants > 0 {
+		tot.MeanTimeToReady = readySum / time.Duration(tot.Tenants)
+	}
+	if tot.FailedOver > 0 {
+		tot.MeanRecovery = recoverySum / time.Duration(tot.FailedOver)
+	}
+	return tot
+}

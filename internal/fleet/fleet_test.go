@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func testConfig(tenants, orders int) Config {
+	return Config{
+		Tenants:         tenants,
+		OrdersPerTenant: orders,
+		System:          core.Config{Seed: 42, VolumeBlocks: 256},
+	}
+}
+
+func TestFleetRolesInterleaveAndCover(t *testing.T) {
+	f := New(testConfig(16, 4))
+	var fail, ana, plain int
+	for _, tn := range f.Tenants {
+		switch {
+		case tn.Failover && tn.Analytics:
+			t.Fatalf("%s has both roles", tn.Namespace)
+		case tn.Failover:
+			fail++
+		case tn.Analytics:
+			ana++
+		default:
+			plain++
+		}
+	}
+	if fail != 4 || ana != 4 || plain != 8 {
+		t.Fatalf("roles fail=%d ana=%d plain=%d, want 4/4/8", fail, ana, plain)
+	}
+}
+
+func TestFleetMixedWorkloadAllTenantsConsistent(t *testing.T) {
+	f := New(testConfig(12, 6))
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tot := f.Totals()
+	if tot.Verified != 12 || tot.Collapsed != 0 {
+		t.Fatalf("verified=%d collapsed=%d: %+v", tot.Verified, tot.Collapsed, tot)
+	}
+	if tot.FailedOver == 0 || tot.Analytics == 0 {
+		t.Fatalf("mixed workload degenerate: %+v", tot)
+	}
+	for _, tn := range f.Tenants {
+		if tn.OrdersPlaced == 0 {
+			t.Fatalf("%s placed no orders", tn.Namespace)
+		}
+		if tn.Analytics && tn.AnalyticsOrders < 0 {
+			t.Fatalf("%s never ran analytics", tn.Namespace)
+		}
+		if tn.Failover && tn.RecoveryTime <= 0 {
+			t.Fatalf("%s failed over with zero recovery time", tn.Namespace)
+		}
+	}
+}
+
+// TestFleetFailoverTenantsLoseOnlyTail pins the disaster semantics: failover
+// without catch-up may lose in-flight commits (RPO) but each lost set is a
+// tail — the recovered image is a consistent prefix, never a collapse.
+func TestFleetFailoverTenantsLoseOnlyTail(t *testing.T) {
+	cfg := testConfig(8, 10)
+	// A slow, thin link keeps a real backlog in flight at the cut.
+	cfg.System.Link.Propagation = 20 * time.Millisecond
+	cfg.System.Link.BandwidthBps = 2e5
+	f := New(cfg)
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var lost int
+	for _, tn := range f.Tenants {
+		if !tn.Failover {
+			continue
+		}
+		if tn.Report.Collapsed() || !tn.Report.OrderingOK() {
+			t.Fatalf("%s: inconsistent image: %v", tn.Namespace, tn.Report)
+		}
+		lost += tn.Report.LostSalesTxns + tn.Report.LostStockTxns
+	}
+	if lost == 0 {
+		t.Fatal("slow link produced no in-flight loss; disaster path untested")
+	}
+}
+
+func TestFleetDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int64, time.Duration) {
+		f := New(testConfig(6, 4))
+		if err := f.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return f.Totals().OrdersPlaced, f.Sys.Env.Now()
+	}
+	o1, t1 := run()
+	o2, t2 := run()
+	if o1 != o2 || t1 != t2 {
+		t.Fatalf("nondeterministic: (%d,%v) vs (%d,%v)", o1, t1, o2, t2)
+	}
+}

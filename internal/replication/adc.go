@@ -59,6 +59,7 @@ type Group struct {
 	lastAppliedAck time.Duration
 	applyLog       []storage.Record // applied at target, for verification
 	lost           []storage.Record // abandoned in flight by Stop (disaster split)
+	batch          []storage.Record // drain scratch, reused across batches
 	failedOver     bool
 	drainProc      *sim.Proc
 }
@@ -149,7 +150,12 @@ func (g *Group) Stopped() bool { return g.stopped }
 
 func (g *Group) drain(p *sim.Proc) {
 	for {
-		recs := g.journal.TryTake(g.cfg.BatchMax)
+		// The batch scratch is reused across iterations; records that
+		// outlive the batch (applyLog, lost) are copied out by value below.
+		recs := g.journal.TryTakeInto(g.batch, g.cfg.BatchMax)
+		if recs != nil {
+			g.batch = recs
+		}
 		if recs == nil {
 			if !g.caughtUp.Triggered() {
 				g.caughtUp.Trigger()

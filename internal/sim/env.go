@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -18,10 +17,17 @@ import (
 
 // Env is a simulation environment: a virtual clock plus an event queue.
 // Create one with NewEnv, start processes with Process, then call Run.
+//
+// The event queue is a binary heap of indexes into a slab of scheduled
+// entries. Entries are recycled through a free-list, so steady-state
+// scheduling allocates nothing — the kernel hot path is what bounds how
+// large a scenario (e.g. the E11 tenant fleet) is affordable.
 type Env struct {
 	now     time.Duration
-	queue   eventQueue
-	seq     int64 // tiebreaker for events at the same timestamp
+	slab    []scheduled // entry storage; index 0 is a reserved sentinel
+	heap    []int32     // heap of slab indexes ordered by (at, seq)
+	free    []int32     // recycled slab indexes
+	seq     int64       // tiebreaker for events at the same timestamp
 	rng     *rand.Rand
 	yield   chan struct{} // signalled by a process when it blocks or exits
 	running bool
@@ -35,6 +41,7 @@ func NewEnv(seed int64) *Env {
 	return &Env{
 		rng:   rand.New(rand.NewSource(seed)),
 		yield: make(chan struct{}),
+		slab:  make([]scheduled, 1), // slab[0] reserved so ref 0 means "none"
 	}
 }
 
@@ -46,7 +53,9 @@ func (e *Env) Rand() *rand.Rand { return e.rng }
 
 // scheduled is one entry in the event queue: resume a process at time at.
 // Entries can be canceled in place (e.g. a timeout superseded by its event);
-// the scheduler skips canceled entries when it pops them.
+// the scheduler skips canceled entries when it pops them. Entries live in
+// the environment's slab and are addressed by index (entryRef) because the
+// slab reallocates as it grows.
 type scheduled struct {
 	at       time.Duration
 	seq      int64
@@ -54,33 +63,95 @@ type scheduled struct {
 	canceled bool
 }
 
-type eventQueue []*scheduled
+// entryRef addresses a slab entry; 0 means "no entry" (slab[0] is reserved).
+type entryRef = int32
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// allocEntry returns a fresh or recycled slab index.
+func (e *Env) allocEntry() entryRef {
+	if n := len(e.free); n > 0 {
+		id := e.free[n-1]
+		e.free = e.free[:n-1]
+		return id
 	}
-	return q[i].seq < q[j].seq
+	e.slab = append(e.slab, scheduled{})
+	return entryRef(len(e.slab) - 1)
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*scheduled)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
+
+// freeEntry recycles a popped entry. Callers must not hold its ref after
+// this; cancellation refs are only ever used while an entry is pending.
+func (e *Env) freeEntry(id entryRef) {
+	e.slab[id] = scheduled{} // drop the proc pointer
+	e.free = append(e.free, id)
 }
+
+// cancelEntry marks a pending entry canceled; the scheduler drops it on pop.
+func (e *Env) cancelEntry(id entryRef) { e.slab[id].canceled = true }
 
 func (e *Env) schedule(p *Proc, at time.Duration) { e.scheduleEntry(p, at) }
 
-func (e *Env) scheduleEntry(p *Proc, at time.Duration) *scheduled {
+func (e *Env) scheduleEntry(p *Proc, at time.Duration) entryRef {
 	e.seq++
-	it := &scheduled{at: at, seq: e.seq, proc: p}
-	heap.Push(&e.queue, it)
-	return it
+	id := e.allocEntry()
+	e.slab[id] = scheduled{at: at, seq: e.seq, proc: p}
+	e.heapPush(id)
+	return id
+}
+
+// entryLess orders heap entries by (at, seq).
+func (e *Env) entryLess(a, b entryRef) bool {
+	ea, eb := &e.slab[a], &e.slab[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (e *Env) heapPush(id entryRef) {
+	e.heap = append(e.heap, id)
+	e.siftUp(len(e.heap) - 1)
+}
+
+func (e *Env) heapPop() entryRef {
+	top := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+func (e *Env) siftUp(i int) {
+	h := e.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.entryLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (e *Env) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && e.entryLess(h[right], h[left]) {
+			least = right
+		}
+		if !e.entryLess(h[least], h[i]) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
 }
 
 // Run executes scheduled events until the queue drains or virtual time would
@@ -92,20 +163,23 @@ func (e *Env) Run(horizon time.Duration) time.Duration {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if horizon > 0 && next.at > horizon {
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		if horizon > 0 && e.slab[top].at > horizon {
 			e.now = horizon
 			return e.now
 		}
-		heap.Pop(&e.queue)
-		if next.canceled || next.proc.done {
+		e.heapPop()
+		// Copy out before recycling: step() may schedule and reuse this slot.
+		ent := e.slab[top]
+		e.freeEntry(top)
+		if ent.canceled || ent.proc.done {
 			continue
 		}
-		if next.at > e.now {
-			e.now = next.at
+		if ent.at > e.now {
+			e.now = ent.at
 		}
-		e.step(next.proc)
+		e.step(ent.proc)
 	}
 	return e.now
 }
@@ -118,7 +192,7 @@ func (e *Env) step(p *Proc) {
 
 // Idle reports whether no events are pending. Processes blocked on
 // untriggered events do not count as pending work.
-func (e *Env) Idle() bool { return len(e.queue) == 0 }
+func (e *Env) Idle() bool { return len(e.heap) == 0 }
 
 // Blocked returns the number of live processes waiting on events that have
 // not triggered. A nonzero value after Run returns usually indicates a
@@ -130,5 +204,5 @@ func (e *Env) Blocked() int { return e.blocked }
 func (e *Env) Procs() int { return e.procs }
 
 func (e *Env) String() string {
-	return fmt.Sprintf("sim.Env{now=%v queued=%d procs=%d blocked=%d}", e.now, len(e.queue), e.procs, e.blocked)
+	return fmt.Sprintf("sim.Env{now=%v queued=%d procs=%d blocked=%d}", e.now, len(e.heap), e.procs, e.blocked)
 }

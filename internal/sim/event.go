@@ -10,12 +10,14 @@ type Event struct {
 }
 
 // waiter pairs a blocked process with its optional timeout entry so that a
-// trigger can cancel the pending timer. For WaitAny, group lists the sibling
-// events the process is simultaneously registered on, so the first trigger
-// can deregister the rest and prevent double resumption.
+// trigger can cancel the pending timer (0 = no timer; refs are only valid
+// while the entry is pending, which holds because the process stays blocked
+// until either the timer pops or the trigger cancels it). For WaitAny, group
+// lists the sibling events the process is simultaneously registered on, so
+// the first trigger can deregister the rest and prevent double resumption.
 type waiter struct {
 	proc  *Proc
-	timer *scheduled
+	timer entryRef
 	group []*Event
 }
 
@@ -33,8 +35,8 @@ func (ev *Event) Trigger() {
 	}
 	ev.triggered = true
 	for _, w := range ev.waiters {
-		if w.timer != nil {
-			w.timer.canceled = true
+		if w.timer != 0 {
+			ev.env.cancelEntry(w.timer)
 		}
 		for _, other := range w.group {
 			if other != ev {

@@ -128,7 +128,13 @@ func (p *Proc) WaitTimeout(ev *Event, d time.Duration) bool {
 	p.env.blocked++
 	p.block()
 	p.env.blocked--
-	if ev.triggered && timer.canceled {
+	// Exactly one of the two sources resumed us: a trigger (which canceled
+	// the timer while it was still pending) or the timer pop (which can only
+	// happen while the event is untriggered — a later trigger cannot run
+	// before this check because no other process runs in between). So the
+	// event state alone identifies the winner; the timer entry has been
+	// recycled if it popped and must not be read here.
+	if ev.triggered {
 		return true
 	}
 	ev.remove(p)

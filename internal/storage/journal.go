@@ -173,6 +173,17 @@ func (j *Journal) TryTake(max int) []Record {
 	return j.takeReady(max)
 }
 
+// TryTakeInto is TryTake reusing buf's backing storage for the returned
+// batch. The replication drain calls it in a loop with one scratch buffer
+// so steady-state draining allocates nothing; callers must be done with the
+// previous batch before taking the next one into the same buffer.
+func (j *Journal) TryTakeInto(buf []Record, max int) []Record {
+	if len(j.pending) == 0 {
+		return nil
+	}
+	return j.takeReadyInto(buf[:0], max)
+}
+
 // Take removes and returns up to max pending records in sequence order,
 // blocking the process until at least one record is available.
 func (j *Journal) Take(p *sim.Proc, max int) []Record {
@@ -204,12 +215,13 @@ func (j *Journal) TakeTimeout(p *sim.Proc, max int, d time.Duration) []Record {
 	return j.takeReady(max)
 }
 
-func (j *Journal) takeReady(max int) []Record {
+func (j *Journal) takeReady(max int) []Record { return j.takeReadyInto(nil, max) }
+
+func (j *Journal) takeReadyInto(buf []Record, max int) []Record {
 	if max <= 0 || max > len(j.pending) {
 		max = len(j.pending)
 	}
-	out := make([]Record, max)
-	copy(out, j.pending[:max])
+	buf = append(buf, j.pending[:max]...)
 	rest := len(j.pending) - max
 	copy(j.pending, j.pending[max:])
 	for i := rest; i < len(j.pending); i++ {
@@ -217,7 +229,7 @@ func (j *Journal) takeReady(max int) []Record {
 	}
 	j.pending = j.pending[:rest]
 	j.drained += int64(max)
-	return out
+	return buf
 }
 
 func (j *Journal) String() string {
