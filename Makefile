@@ -1,12 +1,15 @@
 # CI entry points. `make ci` is what the build gate runs: format check,
-# vet, build, full tests, and a 1x-iteration bench smoke across every
-# experiment harness. `make baseline` regenerates BENCH_baseline.json.
+# vet, build, full tests (plain and -race: the sim kernel and the fabric
+# dispatchers move work across goroutines), and a 1x-iteration bench smoke
+# across every experiment harness (E1-E12, including
+# BenchmarkE12_Interference). `make baseline` regenerates
+# BENCH_baseline.json.
 
 GO ?= go
 
-.PHONY: ci fmt vet build test bench-smoke baseline
+.PHONY: ci fmt vet build test test-race bench-smoke baseline
 
-ci: fmt vet build test bench-smoke
+ci: fmt vet build test test-race bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -20,6 +23,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
 
 # One iteration of every experiment benchmark: catches harness regressions
 # without paying for a statistically meaningful measurement.

@@ -128,6 +128,24 @@ func BenchmarkE9_Ablations(b *testing.B) {
 	}
 }
 
+// BenchmarkE12_Interference regenerates E12: a noisy neighbor flooding the
+// shared inter-site fabric against a victim tenant, across QoS policies
+// (none, weighted classes, dedicated link) plus a mid-run member-link
+// failure. This is the fabric scheduler's stress harness.
+func BenchmarkE12_Interference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.E12Interference(int64(i+1), 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if !r.Consistent {
+				b.Fatalf("consistency cut broke: %+v", r)
+			}
+		}
+	}
+}
+
 // BenchmarkE11_FleetScale regenerates E11: 64 tenant namespaces on one
 // shared two-site system, mixed OLTP + snapshot analytics + mid-run
 // failovers, with per-tenant cross-volume consistency verified. This is the

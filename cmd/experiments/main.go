@@ -1,5 +1,5 @@
 // Command experiments regenerates every table/figure of the reproduction
-// (E1-E11; DESIGN.md carries the experiment index). Select a subset with
+// (E1-E12; DESIGN.md carries the experiment index). Select a subset with
 // -run.
 package main
 
@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment IDs (e1,e2,...,e11) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment IDs (e1,e2,...,e12) or 'all'")
 	seed := flag.Int64("seed", 1, "base simulation seed")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	flag.Parse()
@@ -119,6 +119,17 @@ func main() {
 			log.Fatalf("E11: %v", err)
 		}
 		fmt.Println(experiments.E11Table(res))
+	}
+	if sel("e12") {
+		e12Orders := 40
+		if *quick {
+			e12Orders = 20
+		}
+		res, err := experiments.E12Interference(*seed, e12Orders)
+		if err != nil {
+			log.Fatalf("E12: %v", err)
+		}
+		fmt.Println(experiments.E12Table(res))
 	}
 	if sel("e9") {
 		batch, err := experiments.E9BatchSweep(*seed, []int{1, 4, 16, 64, 256}, orders)

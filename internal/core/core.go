@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/csiplugin"
 	"repro/internal/db"
+	"repro/internal/fabric"
 	"repro/internal/netlink"
 	"repro/internal/operator"
 	"repro/internal/platform"
@@ -40,8 +41,19 @@ const StorageClassName = "vsp-replicated"
 type Config struct {
 	// Seed drives the deterministic simulation.
 	Seed int64
-	// Link is the inter-site network (default 5ms propagation, 1GB/s).
+	// Link is the inter-site network (default 5ms propagation, 1GB/s). It
+	// is the fabric's only member link unless Fabric.Links overrides it.
 	Link netlink.Config
+	// Fabric configures the inter-site fabric: Fabric.Links, when set,
+	// REPLACES Link as the member-link roster (heterogeneous members
+	// allowed); Fabric.Classes adds QoS scheduling at the ingress. The
+	// zero value keeps a single-member passthrough fabric that behaves
+	// byte-for-byte like the plain Link pipe.
+	Fabric fabric.Config
+	// PathClass maps a namespace to a fabric QoS class name; nil or an
+	// unknown name binds to the default class. The fleet layer uses this
+	// to give each tenant its own class.
+	PathClass func(namespace string) string
 	// Storage configures both arrays.
 	Storage storage.Config
 	// Replication tunes the ADC drain.
@@ -93,11 +105,19 @@ type System struct {
 	Cfg    Config
 	Main   *Site
 	Backup *Site
+	// Links is member 0 of the fabric — kept as the operator-facing pair
+	// so single-link chaos (Partition/Heal/RTT) reads as before.
 	Links  *netlink.Pair
+	Fabric *fabric.Interconnect
 
 	Operator    *operator.Operator
 	Provisioner *csiplugin.Provisioner
 	Replication *csiplugin.ReplicationPlugin
+
+	// Per-namespace fabric paths (lazily created; one forward for the ADC
+	// drain, one reverse for failback).
+	paths    map[string]*fabric.TenantPath
+	revPaths map[string]*fabric.TenantPath
 }
 
 // NewSystem builds and starts the demonstration system. The returned
@@ -119,8 +139,24 @@ func NewSystem(cfg Config) *System {
 			API:   platform.NewAPIServer(env, cfg.API),
 			Array: storage.NewArray(env, "vsp-backup", cfg.Storage),
 		},
-		Links: netlink.NewPair(env, cfg.Link),
+		paths:    make(map[string]*fabric.TenantPath),
+		revPaths: make(map[string]*fabric.TenantPath),
 	}
+	// Inter-site fabric: member links default to the single cfg.Link; a
+	// Fabric.Links roster swaps in a multi-link interconnect. Member 0's
+	// pair stays exposed as sys.Links.
+	memberCfgs := cfg.Fabric.Links
+	if len(memberCfgs) == 0 {
+		memberCfgs = []netlink.Config{cfg.Link}
+	}
+	fwd := make([]*netlink.Link, len(memberCfgs))
+	rev := make([]*netlink.Link, len(memberCfgs))
+	for i, lc := range memberCfgs {
+		pr := netlink.NewPair(env, lc)
+		fwd[i], rev[i] = pr.Forward, pr.Reverse
+	}
+	sys.Links = &netlink.Pair{Forward: fwd[0], Reverse: rev[0]}
+	sys.Fabric = fabric.NewInterconnect(env, cfg.Fabric, fwd, rev)
 	sys.Provisioner = csiplugin.NewProvisioner(env, sys.Main.API,
 		map[string]*storage.Array{sys.Main.Array.Name(): sys.Main.Array})
 	sys.Replication = csiplugin.NewReplicationPlugin(env, csiplugin.SitePair{
@@ -128,7 +164,7 @@ func NewSystem(cfg Config) *System {
 		BackupAPI:   sys.Backup.API,
 		MainArray:   sys.Main.Array,
 		BackupArray: sys.Backup.Array,
-		Link:        sys.Links.Forward,
+		PathFor:     func(namespace string) fabric.Path { return sys.PathFor(namespace) },
 	}, cfg.Replication)
 	sys.Operator = operator.New(env, sys.Main.API, operator.Config{ConsistencyGroup: *cfg.ConsistencyGroup})
 	sys.Main.Snapshots = csiplugin.NewSnapshotController(env, sys.Main.API, sys.Main.Array, cfg.FeatureGates)
@@ -276,6 +312,42 @@ func (sys *System) DisableBackup(p *sim.Proc, namespace string) error {
 	delete(ns.Labels, operator.Tag)
 	return sys.Main.API.Update(p, ns)
 }
+
+// classFor resolves a namespace's QoS class name.
+func (sys *System) classFor(namespace string) string {
+	if sys.Cfg.PathClass == nil {
+		return ""
+	}
+	return sys.Cfg.PathClass(namespace)
+}
+
+// PathFor returns the namespace's forward (main→backup) fabric path,
+// creating it on first use. The replication plugin drains each namespace's
+// journal through this path, so per-tenant bytes, queueing delay, and
+// drops are observable on it.
+func (sys *System) PathFor(namespace string) *fabric.TenantPath {
+	if tp, ok := sys.paths[namespace]; ok {
+		return tp
+	}
+	tp := sys.Fabric.Forward.Path(sys.classFor(namespace), "adc:"+namespace)
+	sys.paths[namespace] = tp
+	return tp
+}
+
+// ReversePathFor returns the namespace's reverse (backup→main) fabric
+// path, used by failback resync and reverse replication.
+func (sys *System) ReversePathFor(namespace string) *fabric.TenantPath {
+	if tp, ok := sys.revPaths[namespace]; ok {
+		return tp
+	}
+	tp := sys.Fabric.Reverse.Path(sys.classFor(namespace), "failback:"+namespace)
+	sys.revPaths[namespace] = tp
+	return tp
+}
+
+// TenantPath returns the namespace's forward fabric path if one was
+// created (nil otherwise) — the per-tenant interference counters.
+func (sys *System) TenantPath(namespace string) *fabric.TenantPath { return sys.paths[namespace] }
 
 // Groups returns the running replication groups for a namespace.
 func (sys *System) Groups(namespace string) []*replication.Group {

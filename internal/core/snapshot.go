@@ -115,7 +115,8 @@ func (sys *System) Failback(p *sim.Proc) (*FailbackResult, error) {
 		if !g.FailedOver() {
 			continue
 		}
-		reverse, stats, err := replication.Failback(p, g, sys.Main.Array, sys.Links.Reverse, sys.Cfg.Replication)
+		reverse, stats, err := replication.Failback(p, g, sys.Main.Array,
+			sys.ReversePathFor(sys.Replication.NamespaceOf(g)), sys.Cfg.Replication)
 		if err != nil {
 			return nil, err
 		}

@@ -30,7 +30,7 @@ func newTwoSites(t *testing.T) *twoSites {
 			BackupAPI:   platform.NewAPIServer(env, platform.APIConfig{}),
 			MainArray:   storage.NewArray(env, "main-array", storage.Config{}),
 			BackupArray: storage.NewArray(env, "backup-array", storage.Config{}),
-			Link:        netlink.New(env, netlink.Config{Propagation: time.Millisecond}),
+			Path:        netlink.New(env, netlink.Config{Propagation: time.Millisecond}),
 		},
 	}
 	f.provisioner = NewProvisioner(env, f.sites.MainAPI,

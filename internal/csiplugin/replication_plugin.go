@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/netlink"
+	"repro/internal/fabric"
 	"repro/internal/platform"
 	"repro/internal/replication"
 	"repro/internal/sim"
@@ -17,7 +17,19 @@ type SitePair struct {
 	BackupAPI   *platform.APIServer
 	MainArray   *storage.Array
 	BackupArray *storage.Array
-	Link        *netlink.Link
+	// Path is the inter-site transfer path every group shares (a raw
+	// *netlink.Link works). PathFor, when set, takes precedence and hands
+	// each namespace its own path — how per-tenant QoS classes attach.
+	Path    fabric.Path
+	PathFor func(namespace string) fabric.Path
+}
+
+// pathFor resolves the transfer path for a namespace's groups.
+func (s SitePair) pathFor(namespace string) fabric.Path {
+	if s.PathFor != nil {
+		return s.PathFor(namespace)
+	}
+	return s.Path
 }
 
 // ReplicationPlugin reconciles ReplicationGroup custom resources on the
@@ -33,11 +45,18 @@ type ReplicationPlugin struct {
 	// groups tracks the running replication groups per CR name. With
 	// ConsistencyGroup=true there is exactly one; otherwise one per volume.
 	groups map[string][]*replication.Group
+	// nsByGroup remembers which namespace each group replicates, so
+	// site-wide operations (failback) can pick that tenant's fabric path.
+	nsByGroup map[*replication.Group]string
 }
 
 // NewReplicationPlugin builds the plugin; Start launches its controller.
 func NewReplicationPlugin(env *sim.Env, sites SitePair, cfg replication.Config) *ReplicationPlugin {
-	rp := &ReplicationPlugin{env: env, sites: sites, cfg: cfg, groups: make(map[string][]*replication.Group)}
+	rp := &ReplicationPlugin{
+		env: env, sites: sites, cfg: cfg,
+		groups:    make(map[string][]*replication.Group),
+		nsByGroup: make(map[*replication.Group]string),
+	}
 	rp.ctrl = platform.NewController(env, sites.MainAPI, "replication-plugin",
 		platform.KindReplicationGroup, nil, platform.ReconcilerFunc(rp.reconcile),
 		platform.ControllerConfig{})
@@ -57,6 +76,10 @@ func (rp *ReplicationPlugin) Groups(name string) []*replication.Group {
 	copy(out, rp.groups[name])
 	return out
 }
+
+// NamespaceOf returns the namespace a group replicates (empty for groups
+// this plugin did not create).
+func (rp *ReplicationPlugin) NamespaceOf(g *replication.Group) string { return rp.nsByGroup[g] }
 
 // AllGroups returns every running group (for site-wide operations).
 func (rp *ReplicationPlugin) AllGroups() []*replication.Group {
@@ -170,7 +193,7 @@ func (rp *ReplicationPlugin) reconcile(p *sim.Proc, key platform.ObjectKey) erro
 			}
 		}
 		g, err := replication.NewGroup(rp.env, fmt.Sprintf("%s-%d", rg.Name, i), journal,
-			rp.sites.BackupArray, mapping, rp.sites.Link, rp.cfg)
+			rp.sites.BackupArray, mapping, rp.sites.pathFor(rg.Spec.SourceNamespace), rp.cfg)
 		if err != nil {
 			return err
 		}
@@ -179,6 +202,7 @@ func (rp *ReplicationPlugin) reconcile(p *sim.Proc, key platform.ObjectKey) erro
 		}
 		g.Start()
 		created = append(created, g)
+		rp.nsByGroup[g] = rg.Spec.SourceNamespace
 		journalIDs = append(journalIDs, journalID)
 	}
 	rp.groups[rg.Name] = created
@@ -206,6 +230,7 @@ func (rp *ReplicationPlugin) teardown(p *sim.Proc, name string) error {
 	}
 	for _, g := range groups {
 		g.Stop()
+		delete(rp.nsByGroup, g)
 		for src := range g.Mapping() {
 			if err := rp.sites.MainArray.DetachJournal(src); err != nil {
 				return err

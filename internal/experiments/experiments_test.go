@@ -289,6 +289,63 @@ func TestE9SkewInsensitive(t *testing.T) {
 	t.Log("\n" + E9SkewTable(results).String())
 }
 
+func TestE12InterferenceOrderingAndFailover(t *testing.T) {
+	results, err := E12Interference(1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[string]InterferenceResult{}
+	for _, r := range results {
+		by[r.Scenario] = r
+		if !r.Consistent {
+			t.Errorf("%s: a tenant's consistency cut broke", r.Scenario)
+		}
+		if r.VictimOrders == 0 {
+			t.Errorf("%s: victim placed no orders", r.Scenario)
+		}
+	}
+	base, noqos, weighted, dedicated := by["baseline"], by["no-qos"], by["weighted"], by["dedicated"]
+	failover := by["link-failure"]
+
+	// Who wins: victim degradation is worst with no QoS on the shared
+	// fabric, bounded under weighted classes, near-isolated on a
+	// dedicated link.
+	if noqos.VictimMeanRPO < 3*weighted.VictimMeanRPO {
+		t.Errorf("no-qos RPO %v not >> weighted %v", noqos.VictimMeanRPO, weighted.VictimMeanRPO)
+	}
+	if noqos.VictimMeanXfer < 3*weighted.VictimMeanXfer {
+		t.Errorf("no-qos drain xfer %v not >> weighted %v", noqos.VictimMeanXfer, weighted.VictimMeanXfer)
+	}
+	if weighted.VictimMeanRPO <= dedicated.VictimMeanRPO {
+		t.Errorf("weighted RPO %v not above dedicated %v", weighted.VictimMeanRPO, dedicated.VictimMeanRPO)
+	}
+	if weighted.VictimMeanXfer <= dedicated.VictimMeanXfer {
+		t.Errorf("weighted drain xfer %v not above dedicated %v", weighted.VictimMeanXfer, dedicated.VictimMeanXfer)
+	}
+	if dedicated.VictimMeanRPO > 2*base.VictimMeanRPO+5*time.Millisecond {
+		t.Errorf("dedicated link not near-isolated: %v vs baseline %v", dedicated.VictimMeanRPO, base.VictimMeanRPO)
+	}
+	// Catch-up (drain) latency tells the same story end to end.
+	if noqos.VictimCatchUp < 5*weighted.VictimCatchUp {
+		t.Errorf("no-qos catch-up %v not >> weighted %v", noqos.VictimCatchUp, weighted.VictimCatchUp)
+	}
+
+	// Mid-run member-link failure: traffic reroutes onto the survivor (the
+	// dead member carries at most its in-flight batch) and no tenant's
+	// consistency cut breaks.
+	if failover.ReroutedBytes == 0 {
+		t.Error("link failure rerouted no traffic")
+	}
+	if failover.DeadLinkBytes*5 > failover.ReroutedBytes {
+		t.Errorf("dead member carried %dB during its outage vs survivor %dB",
+			failover.DeadLinkBytes, failover.ReroutedBytes)
+	}
+	if !failover.Consistent {
+		t.Error("link failure violated a consistency cut")
+	}
+	t.Log("\n" + E12Table(results).String())
+}
+
 func TestE11FleetAllTenantsConsistentAfterMixedRun(t *testing.T) {
 	res, err := E11FleetScale(3, 24, 6)
 	if err != nil {

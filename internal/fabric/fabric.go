@@ -1,0 +1,560 @@
+// Package fabric models the inter-site network as a fabric of multiple
+// member links with a per-tenant admission layer in front of them. Where
+// internal/netlink is one pipe, a Fabric is the whole interconnect: tenants
+// obtain a Path bound to a QoS class, transfers fan in at the fabric
+// ingress, a deficit-weighted round-robin scheduler (plus optional
+// token-bucket rate caps) arbitrates between classes, and per-link
+// dispatchers spread admitted transfers over the member links. When a
+// member link partitions, its dispatcher parks and the shared ingress
+// queues drain through the surviving members — link failover without any
+// consumer involvement.
+//
+// Consumers (the ADC drain, SDC mirror, failback resync) depend only on
+// the small Path interface, which *netlink.Link also satisfies, so a raw
+// link, a fabric path, and a test double are interchangeable.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netlink"
+	"repro/internal/sim"
+)
+
+// Path is the consumer-facing transfer interface: move size bytes to the
+// other site, blocking the calling process for however long that takes.
+// *netlink.Link and *TenantPath both satisfy it.
+type Path interface {
+	Transfer(p *sim.Proc, size int) time.Duration
+}
+
+var (
+	_ Path = (*netlink.Link)(nil)
+	_ Path = (*TenantPath)(nil)
+)
+
+// ClassConfig describes one QoS class at the fabric ingress.
+type ClassConfig struct {
+	// Name identifies the class to Fabric.Path lookups.
+	Name string
+	// Weight is the class's deficit-round-robin share (default 1). A class
+	// with weight 4 gets 4x the bytes of a weight-1 class under contention.
+	Weight int
+	// RateBps is an optional token-bucket rate cap in bytes per second;
+	// 0 means uncapped (pure weighted sharing).
+	RateBps float64
+	// BurstBytes is the token-bucket depth (default 256 KiB when RateBps
+	// is set). Transfers larger than the burst are admitted once the
+	// bucket is full and drive the balance negative, enforcing the
+	// long-run rate.
+	BurstBytes int
+	// MaxQueued caps the class's ingress queue depth; 0 means unbounded.
+	// A full queue drops the admission attempt — the caller backs off
+	// RetryBackoff and retries, and the drop is counted on its path.
+	MaxQueued int
+	// Links restricts the class to the given member-link indexes (nil =
+	// any member). A single-element slice pins the class to a dedicated
+	// link.
+	Links []int
+}
+
+// Config assembles a Fabric.
+type Config struct {
+	// Links configures the member links (at least one; exactly one with no
+	// Classes keeps the fabric in passthrough mode, byte-for-byte identical
+	// to a raw netlink.Link).
+	Links []netlink.Config
+	// Classes defines the QoS classes. Empty means one best-effort class
+	// and no ingress scheduling.
+	Classes []ClassConfig
+	// QuantumBytes is the DRR quantum credited per weight unit per round
+	// (default 64 KiB).
+	QuantumBytes int
+	// RetryBackoff is the caller's pause after an ingress drop (default 1ms).
+	RetryBackoff time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Links) == 0 {
+		c.Links = []netlink.Config{{}}
+	}
+	if c.QuantumBytes <= 0 {
+		c.QuantumBytes = 64 << 10
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Millisecond
+	}
+	return c
+}
+
+// request is one transfer waiting at the fabric ingress.
+type request struct {
+	size       int
+	enq        time.Duration
+	queueDelay time.Duration // set at dispatch
+	done       *sim.Event
+	path       *TenantPath
+}
+
+// class is the runtime state of one QoS class.
+type class struct {
+	cfg     ClassConfig
+	queue   []*request
+	head    int // pop index; queue is compacted when it empties
+	deficit int // DRR byte credit
+
+	tokens     float64 // token-bucket balance (bytes); may go negative
+	lastRefill time.Duration
+
+	bytes     int64
+	transfers int64
+	drops     int64
+	maxDepth  int
+}
+
+func (c *class) depth() int { return len(c.queue) - c.head }
+
+func (c *class) peek() *request { return c.queue[c.head] }
+
+func (c *class) push(r *request) {
+	c.queue = append(c.queue, r)
+	if d := c.depth(); d > c.maxDepth {
+		c.maxDepth = d
+	}
+}
+
+func (c *class) pop() *request {
+	r := c.queue[c.head]
+	c.queue[c.head] = nil
+	c.head++
+	if c.head == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.head = 0
+	} else if c.head > 32 && c.head > len(c.queue)/2 {
+		// Compact: a continuously backlogged queue never fully empties, so
+		// without this the backing array grows with total (not peak) load.
+		n := copy(c.queue, c.queue[c.head:])
+		for i := n; i < len(c.queue); i++ {
+			c.queue[i] = nil
+		}
+		c.queue = c.queue[:n]
+		c.head = 0
+	}
+	return r
+}
+
+func (c *class) allows(link int) bool {
+	if len(c.cfg.Links) == 0 {
+		return true
+	}
+	for _, li := range c.cfg.Links {
+		if li == link {
+			return true
+		}
+	}
+	return false
+}
+
+// refill tops the token bucket up to the burst depth.
+func (c *class) refill(now time.Duration) {
+	if c.cfg.RateBps <= 0 {
+		return
+	}
+	elapsed := now - c.lastRefill
+	if elapsed <= 0 {
+		return
+	}
+	c.lastRefill = now
+	c.tokens += elapsed.Seconds() * c.cfg.RateBps
+	if burst := float64(c.cfg.BurstBytes); c.tokens > burst {
+		c.tokens = burst
+	}
+}
+
+// gate reports whether the head transfer may pass the token bucket now,
+// and if not, how long until it can.
+func (c *class) gate(size int) (ok bool, wait time.Duration) {
+	if c.cfg.RateBps <= 0 {
+		return true, 0
+	}
+	need := float64(size)
+	if burst := float64(c.cfg.BurstBytes); need > burst {
+		need = burst // oversized transfers go when the bucket is full
+	}
+	if c.tokens >= need {
+		return true, 0
+	}
+	return false, time.Duration((need - c.tokens) / c.cfg.RateBps * float64(time.Second))
+}
+
+// ClassStats is a snapshot of one class's counters.
+type ClassStats struct {
+	Bytes     int64
+	Transfers int64
+	Drops     int64
+	MaxQueued int
+}
+
+// Fabric is a one-direction inter-site interconnect: member links behind a
+// QoS-classed ingress. Build the reverse direction as a second Fabric (see
+// Interconnect).
+type Fabric struct {
+	env     *sim.Env
+	cfg     Config
+	links   []*netlink.Link
+	classes []*class
+	byName  map[string]*class
+
+	// scheduled is false for the trivial single-link, classless fabric:
+	// paths then call the link directly (identical timing to a raw link,
+	// no dispatcher processes, no per-transfer allocation).
+	scheduled bool
+
+	cursor   int  // DRR round-robin position (class in the service slot)
+	credited bool // whether the cursor class received its quantum this visit
+	queued   int  // requests waiting across all classes
+	work     *sim.Event
+	stopEv   *sim.Event
+	stopped  bool
+}
+
+// New builds a fabric, creating its member links from cfg.Links.
+func New(env *sim.Env, cfg Config) *Fabric {
+	cfg = cfg.withDefaults()
+	links := make([]*netlink.Link, len(cfg.Links))
+	for i, lc := range cfg.Links {
+		links[i] = netlink.New(env, lc)
+	}
+	return NewWithLinks(env, cfg, links)
+}
+
+// NewWithLinks builds a fabric over already-constructed member links
+// (cfg.Links is ignored). The system assembly uses this to keep the member
+// links shared with the operator-facing netlink.Pair.
+func NewWithLinks(env *sim.Env, cfg Config, links []*netlink.Link) *Fabric {
+	cfg = cfg.withDefaults()
+	if len(links) == 0 {
+		panic("fabric: no member links")
+	}
+	f := &Fabric{
+		env:    env,
+		cfg:    cfg,
+		links:  links,
+		byName: make(map[string]*class),
+		work:   env.NewEvent(),
+		stopEv: env.NewEvent(),
+	}
+	ccfgs := cfg.Classes
+	if len(ccfgs) == 0 {
+		ccfgs = []ClassConfig{{Name: "best-effort"}}
+	}
+	for _, cc := range ccfgs {
+		if cc.Weight <= 0 {
+			cc.Weight = 1
+		}
+		if cc.RateBps > 0 && cc.BurstBytes <= 0 {
+			cc.BurstBytes = 256 << 10
+		}
+		c := &class{cfg: cc, tokens: float64(cc.BurstBytes)}
+		f.classes = append(f.classes, c)
+		f.byName[cc.Name] = c
+	}
+	f.scheduled = len(links) > 1 || len(cfg.Classes) > 0
+	if f.scheduled {
+		for i := range f.links {
+			li := i
+			env.Process(fmt.Sprintf("fabric-dispatch:%d", li), func(p *sim.Proc) {
+				f.dispatch(p, li)
+			})
+		}
+	}
+	return f
+}
+
+// Interconnect is the full-duplex fabric between two sites, the multi-link
+// generalization of netlink.Pair.
+type Interconnect struct {
+	Forward *Fabric
+	Reverse *Fabric
+}
+
+// NewInterconnect builds both directions over pre-built member links (one
+// forward and one reverse link per member). Both directions share the same
+// class/scheduling configuration.
+func NewInterconnect(env *sim.Env, cfg Config, fwd, rev []*netlink.Link) *Interconnect {
+	return &Interconnect{
+		Forward: NewWithLinks(env, cfg, fwd),
+		Reverse: NewWithLinks(env, cfg, rev),
+	}
+}
+
+// Path returns a new tenant path through the fabric bound to the named QoS
+// class. An empty or unknown name binds to the first (default) class. Each
+// call returns a distinct path with its own counters, so per-tenant bytes,
+// queueing delay, and drops are measurable independently.
+func (f *Fabric) Path(classname, owner string) *TenantPath {
+	c, ok := f.byName[classname]
+	if !ok {
+		c = f.classes[0]
+	}
+	return &TenantPath{fabric: f, class: c, owner: owner}
+}
+
+// Links exposes the member links (for partition/heal chaos and per-link
+// accounting; member order matches Config.Links).
+func (f *Fabric) Links() []*netlink.Link { return f.links }
+
+// Classes lists the class names in scheduling order.
+func (f *Fabric) Classes() []string {
+	out := make([]string, len(f.classes))
+	for i, c := range f.classes {
+		out[i] = c.cfg.Name
+	}
+	return out
+}
+
+// ClassStats returns a snapshot of the named class's counters.
+func (f *Fabric) ClassStats(name string) ClassStats {
+	c, ok := f.byName[name]
+	if !ok {
+		return ClassStats{}
+	}
+	return ClassStats{Bytes: c.bytes, Transfers: c.transfers, Drops: c.drops, MaxQueued: c.maxDepth}
+}
+
+// Queued returns the number of transfers waiting at the ingress.
+func (f *Fabric) Queued() int { return f.queued }
+
+// Stop parks the dispatchers after their in-flight transfers. Queued
+// requests are abandoned (their callers stay blocked), mirroring a site
+// split; tests and harnesses use it to quiesce a fabric.
+func (f *Fabric) Stop() {
+	if f.stopped {
+		return
+	}
+	f.stopped = true
+	f.stopEv.Trigger()
+}
+
+func (f *Fabric) String() string {
+	return fmt.Sprintf("fabric{links=%d classes=%d queued=%d}", len(f.links), len(f.classes), f.queued)
+}
+
+// dispatch is the per-link scheduler loop: pick the next admitted request
+// under DRR + token buckets and carry it over this member link. A
+// partitioned member parks here until healed, which is exactly the
+// failover: the shared ingress queues keep draining through the other
+// members' dispatchers.
+func (f *Fabric) dispatch(p *sim.Proc, li int) {
+	link := f.links[li]
+	for {
+		if f.stopped {
+			return
+		}
+		if link.Partitioned() {
+			if p.WaitAny(link.HealedEvent(), f.stopEv) == 1 {
+				return
+			}
+			continue
+		}
+		req, wait := f.pick(li, p.Now())
+		if req == nil {
+			if wait > 0 {
+				// Every eligible class is token-blocked: wait until the
+				// earliest bucket refills enough — but wake early if new
+				// work arrives, which may belong to an uncapped class.
+				if f.work.Triggered() {
+					f.work = f.env.NewEvent()
+				}
+				p.WaitTimeout(f.work, wait)
+				continue
+			}
+			// Nothing queued for this member: park until new work arrives.
+			if f.work.Triggered() {
+				f.work = f.env.NewEvent()
+			}
+			if p.WaitAny(f.work, f.stopEv) == 1 {
+				return
+			}
+			continue
+		}
+		req.queueDelay = p.Now() - req.enq
+		link.Transfer(p, req.size)
+		c := req.path.class
+		c.bytes += int64(req.size)
+		c.transfers++
+		req.done.Trigger()
+	}
+}
+
+// advance moves the DRR service slot to the next class.
+func (f *Fabric) advance() {
+	f.cursor = (f.cursor + 1) % len(f.classes)
+	f.credited = false
+}
+
+// pick runs one deficit-weighted round-robin selection over the classes
+// eligible for member link li. The cursor class is credited one quantum x
+// weight on arrival and keeps the service slot until its deficit or queue
+// runs out, so a backlogged class is served in weight-proportional byte
+// bursts. pick returns the chosen request, or (nil, wait>0) when every
+// queued class is token-blocked for at least wait, or (nil, 0) when
+// nothing is queued that this member may carry.
+func (f *Fabric) pick(li int, now time.Duration) (*request, time.Duration) {
+	if f.queued == 0 {
+		return nil, 0
+	}
+	n := len(f.classes)
+	minWait := time.Duration(-1)
+	barren := 0 // consecutive visits that could not make progress
+	for barren < n {
+		c := f.classes[f.cursor]
+		if c.depth() == 0 || !c.allows(li) {
+			f.advance()
+			barren++
+			continue
+		}
+		c.refill(now)
+		if ok, wait := c.gate(c.peek().size); !ok {
+			if minWait < 0 || wait < minWait {
+				minWait = wait
+			}
+			f.advance()
+			barren++
+			continue
+		}
+		if !f.credited {
+			c.deficit += f.cfg.QuantumBytes * c.cfg.Weight
+			f.credited = true
+		}
+		if c.deficit < c.peek().size {
+			// Not enough credit yet: the deficit carries over and grows on
+			// the next visit, so oversized transfers still go through.
+			// Accumulating credit is progress — reset the barren count.
+			barren = 0
+			f.advance()
+			continue
+		}
+		req := c.pop()
+		c.deficit -= req.size
+		if c.cfg.RateBps > 0 {
+			c.tokens -= float64(req.size)
+		}
+		if c.depth() == 0 {
+			c.deficit = 0 // an emptied class forfeits leftover credit
+			f.advance()
+		} else if c.deficit <= 0 {
+			f.advance() // burst exhausted; next class's turn
+		}
+		f.queued--
+		return req, 0
+	}
+	if minWait < 0 {
+		return nil, 0 // nothing queued that this member may carry: park
+	}
+	if minWait == 0 {
+		minWait = time.Microsecond // defensive: never spin at one instant
+	}
+	return nil, minWait
+}
+
+// TenantPath is one tenant's handle into the fabric: transfers are admitted
+// under the bound QoS class, and the path keeps that tenant's counters.
+type TenantPath struct {
+	fabric *Fabric
+	class  *class
+	owner  string
+
+	bytes         int64
+	transfers     int64
+	drops         int64
+	queueDelay    time.Duration
+	maxQueueDelay time.Duration
+	totalTime     time.Duration
+}
+
+// Transfer moves size bytes through the fabric, blocking the caller for
+// admission (queueing, scheduling, rate caps) plus the member-link transfer.
+func (tp *TenantPath) Transfer(p *sim.Proc, size int) time.Duration {
+	f := tp.fabric
+	start := p.Now()
+	if !f.scheduled {
+		took := f.links[0].Transfer(p, size)
+		tp.class.bytes += int64(size)
+		tp.class.transfers++
+		tp.record(size, took, 0)
+		return took
+	}
+	for {
+		if mq := tp.class.cfg.MaxQueued; mq > 0 && tp.class.depth() >= mq {
+			// Ingress full: drop this attempt, back off, retry.
+			tp.drops++
+			tp.class.drops++
+			p.Sleep(f.cfg.RetryBackoff)
+			continue
+		}
+		req := &request{size: size, enq: p.Now(), done: f.env.NewEvent(), path: tp}
+		tp.class.push(req)
+		f.queued++
+		if !f.work.Triggered() {
+			f.work.Trigger()
+		}
+		p.Wait(req.done)
+		took := p.Now() - start
+		tp.record(size, took, req.queueDelay)
+		return took
+	}
+}
+
+func (tp *TenantPath) record(size int, took, queueDelay time.Duration) {
+	tp.bytes += int64(size)
+	tp.transfers++
+	tp.totalTime += took
+	tp.queueDelay += queueDelay
+	if queueDelay > tp.maxQueueDelay {
+		tp.maxQueueDelay = queueDelay
+	}
+}
+
+// Owner returns the label the path was created with.
+func (tp *TenantPath) Owner() string { return tp.owner }
+
+// Class returns the QoS class the path is bound to.
+func (tp *TenantPath) Class() string { return tp.class.cfg.Name }
+
+// Bytes returns the payload bytes this path has moved.
+func (tp *TenantPath) Bytes() int64 { return tp.bytes }
+
+// Transfers returns the number of completed transfers.
+func (tp *TenantPath) Transfers() int64 { return tp.transfers }
+
+// DropRetries returns how many admission attempts were dropped at a full
+// ingress queue (each was retried after the backoff).
+func (tp *TenantPath) DropRetries() int64 { return tp.drops }
+
+// MeanQueueDelay returns the mean ingress queueing delay per transfer
+// (zero on a passthrough fabric, where the link's own FIFO is the queue).
+func (tp *TenantPath) MeanQueueDelay() time.Duration {
+	if tp.transfers == 0 {
+		return 0
+	}
+	return tp.queueDelay / time.Duration(tp.transfers)
+}
+
+// MaxQueueDelay returns the worst ingress queueing delay seen.
+func (tp *TenantPath) MaxQueueDelay() time.Duration { return tp.maxQueueDelay }
+
+// MeanTransferTime returns the mean end-to-end time per transfer —
+// admission plus link crossing — the drain-latency figure E12 compares
+// across QoS policies.
+func (tp *TenantPath) MeanTransferTime() time.Duration {
+	if tp.transfers == 0 {
+		return 0
+	}
+	return tp.totalTime / time.Duration(tp.transfers)
+}
+
+func (tp *TenantPath) String() string {
+	return fmt.Sprintf("fabricPath{%s class=%s sent=%dB}", tp.owner, tp.class.cfg.Name, tp.bytes)
+}

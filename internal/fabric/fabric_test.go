@@ -1,0 +1,356 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netlink"
+	"repro/internal/sim"
+)
+
+// flood spawns procs back-to-back transferring size bytes on path until the
+// stop time, and returns a counter of completed transfers.
+func flood(env *sim.Env, path Path, procs, size int, until time.Duration, done *int) {
+	for i := 0; i < procs; i++ {
+		env.Process("flood", func(p *sim.Proc) {
+			for p.Now() < until {
+				path.Transfer(p, size)
+				*done++
+			}
+		})
+	}
+}
+
+func TestPassthroughMatchesRawLink(t *testing.T) {
+	// A single-member, classless fabric must be byte-for-byte the raw link:
+	// same completion times, including pipelined propagation.
+	lcfg := netlink.Config{Propagation: 100 * time.Millisecond, BandwidthBps: 1e6}
+	run := func(mk func(env *sim.Env) Path) []time.Duration {
+		env := sim.NewEnv(1)
+		path := mk(env)
+		var done []time.Duration
+		for i := 0; i < 2; i++ {
+			env.Process("tx", func(p *sim.Proc) {
+				path.Transfer(p, 1000)
+				done = append(done, p.Now())
+			})
+		}
+		env.Run(0)
+		return done
+	}
+	raw := run(func(env *sim.Env) Path { return netlink.New(env, lcfg) })
+	fab := run(func(env *sim.Env) Path {
+		f := New(env, Config{Links: []netlink.Config{lcfg}})
+		if f.scheduled {
+			t.Fatal("single-link classless fabric should be passthrough")
+		}
+		return f.Path("", "t0")
+	})
+	for i := range raw {
+		if raw[i] != fab[i] {
+			t.Fatalf("completion %d: raw %v vs fabric %v", i, raw[i], fab[i])
+		}
+	}
+}
+
+func TestPassthroughCountsOnPath(t *testing.T) {
+	env := sim.NewEnv(1)
+	f := New(env, Config{Links: []netlink.Config{{BandwidthBps: 1e6}}})
+	tp := f.Path("", "t0")
+	env.Process("tx", func(p *sim.Proc) {
+		tp.Transfer(p, 500)
+		tp.Transfer(p, 500)
+	})
+	env.Run(0)
+	if tp.Bytes() != 1000 || tp.Transfers() != 2 {
+		t.Fatalf("path counters: bytes=%d transfers=%d", tp.Bytes(), tp.Transfers())
+	}
+	if st := f.ClassStats("best-effort"); st.Bytes != 1000 || st.Transfers != 2 {
+		t.Fatalf("class counters: %+v", st)
+	}
+}
+
+func TestWeightedClassesShareByWeight(t *testing.T) {
+	// One 1MB/s link, two continuously-backlogged classes with weights 3:1.
+	// Completed bytes must split roughly by weight.
+	env := sim.NewEnv(1)
+	f := New(env, Config{
+		Links: []netlink.Config{{BandwidthBps: 1e6}},
+		Classes: []ClassConfig{
+			{Name: "gold", Weight: 3},
+			{Name: "bulk", Weight: 1},
+		},
+	})
+	gold := f.Path("gold", "gold-tenant")
+	bulk := f.Path("bulk", "bulk-tenant")
+	horizon := 2 * time.Second
+	var gDone, bDone int
+	flood(env, gold, 4, 10_000, horizon, &gDone)
+	flood(env, bulk, 4, 10_000, horizon, &bDone)
+	env.Run(horizon)
+	f.Stop()
+	ratio := float64(gold.Bytes()) / float64(bulk.Bytes())
+	if ratio < 2.0 || ratio > 4.5 {
+		t.Fatalf("gold:bulk byte ratio = %.2f (gold=%d bulk=%d), want ~3",
+			ratio, gold.Bytes(), bulk.Bytes())
+	}
+	// The link itself should be near saturation: ~1MB moved per second.
+	total := gold.Bytes() + bulk.Bytes()
+	if total < 1_500_000 {
+		t.Fatalf("link underdriven: %d bytes in %v", total, horizon)
+	}
+}
+
+func TestTokenBucketCapsClassRate(t *testing.T) {
+	// A fat link but a 100KB/s cap on the class: long-run throughput must
+	// track the cap, not the link.
+	env := sim.NewEnv(1)
+	f := New(env, Config{
+		Links: []netlink.Config{{BandwidthBps: 1e9}},
+		Classes: []ClassConfig{
+			{Name: "capped", Weight: 1, RateBps: 1e5, BurstBytes: 20_000},
+		},
+	})
+	tp := f.Path("capped", "t0")
+	horizon := 4 * time.Second
+	var done int
+	flood(env, tp, 2, 10_000, horizon, &done)
+	env.Run(horizon)
+	f.Stop()
+	bps := float64(tp.Bytes()) / horizon.Seconds()
+	if bps > 1.3e5 || bps < 0.5e5 {
+		t.Fatalf("capped class moved %.0f B/s, want ~1e5", bps)
+	}
+}
+
+func TestQueueCapDropsAndRetries(t *testing.T) {
+	// A slow link and a 2-deep ingress queue: a burst of senders must see
+	// drops, retry, and still all complete.
+	env := sim.NewEnv(1)
+	f := New(env, Config{
+		Links: []netlink.Config{{BandwidthBps: 1e5}},
+		Classes: []ClassConfig{
+			{Name: "be", Weight: 1, MaxQueued: 2},
+		},
+		RetryBackoff: 5 * time.Millisecond,
+	})
+	tp := f.Path("be", "t0")
+	const senders = 8
+	completed := 0
+	for i := 0; i < senders; i++ {
+		env.Process("tx", func(p *sim.Proc) {
+			tp.Transfer(p, 10_000) // 100ms serialization each
+			completed++
+		})
+	}
+	env.Run(0)
+	if completed != senders {
+		t.Fatalf("completed %d/%d transfers", completed, senders)
+	}
+	if tp.DropRetries() == 0 {
+		t.Fatal("expected ingress drops with 8 senders on a 2-deep queue")
+	}
+	if st := f.ClassStats("be"); st.Drops != tp.DropRetries() || st.MaxQueued > 2 {
+		t.Fatalf("class stats inconsistent: %+v vs path drops %d", st, tp.DropRetries())
+	}
+}
+
+func TestTokenBlockedDispatcherWakesForUncappedWork(t *testing.T) {
+	// Regression: while the only dispatcher waits out a capped class's
+	// bucket refill, an uncapped class's transfer must be served promptly,
+	// not after the refill expires.
+	env := sim.NewEnv(1)
+	f := New(env, Config{
+		Links: []netlink.Config{{BandwidthBps: 1e6}},
+		Classes: []ClassConfig{
+			{Name: "gold", Weight: 1},
+			{Name: "capped", Weight: 1, RateBps: 1e4, BurstBytes: 10_000},
+		},
+	})
+	capped := f.Path("capped", "capped")
+	gold := f.Path("gold", "gold")
+	var cappedSecond, goldDone time.Duration
+	env.Process("capped", func(p *sim.Proc) {
+		capped.Transfer(p, 10_000) // drains the bucket
+		capped.Transfer(p, 10_000) // token-blocked ~1s
+		cappedSecond = p.Now()
+	})
+	env.Process("gold", func(p *sim.Proc) {
+		p.Sleep(50 * time.Millisecond) // arrive mid-refill-wait
+		gold.Transfer(p, 5_000)
+		goldDone = p.Now()
+	})
+	env.Run(0)
+	f.Stop()
+	if goldDone > 100*time.Millisecond {
+		t.Fatalf("uncapped transfer waited out the refill: done at %v", goldDone)
+	}
+	if cappedSecond < 900*time.Millisecond {
+		t.Fatalf("capped transfer beat its bucket: done at %v", cappedSecond)
+	}
+}
+
+func TestMultiLinkSpreadsLoad(t *testing.T) {
+	// Two equal members and several concurrent senders: both links carry
+	// traffic.
+	env := sim.NewEnv(1)
+	f := New(env, Config{
+		Links:   []netlink.Config{{BandwidthBps: 1e6}, {BandwidthBps: 1e6}},
+		Classes: []ClassConfig{{Name: "be", Weight: 1}},
+	})
+	tp := f.Path("be", "t0")
+	horizon := time.Second
+	var done int
+	flood(env, tp, 4, 20_000, horizon, &done)
+	env.Run(horizon)
+	f.Stop()
+	l0, l1 := f.Links()[0].SentBytes(), f.Links()[1].SentBytes()
+	if l0 == 0 || l1 == 0 {
+		t.Fatalf("load not spread: link0=%d link1=%d", l0, l1)
+	}
+}
+
+func TestMemberPartitionFailsOverAndHealsBack(t *testing.T) {
+	// Partition member 0 mid-run: traffic continues over member 1 only;
+	// after heal, member 0 carries traffic again.
+	env := sim.NewEnv(1)
+	f := New(env, Config{
+		Links:   []netlink.Config{{BandwidthBps: 1e6}, {BandwidthBps: 1e6}},
+		Classes: []ClassConfig{{Name: "be", Weight: 1}},
+	})
+	tp := f.Path("be", "t0")
+	horizon := 3 * time.Second
+	var done int
+	flood(env, tp, 4, 20_000, horizon, &done)
+	var at0Partition, at0Heal, at1Partition, at1Heal int64
+	env.Process("chaos", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		at0Partition = f.Links()[0].SentBytes()
+		at1Partition = f.Links()[1].SentBytes()
+		f.Links()[0].Partition()
+		p.Sleep(time.Second)
+		at0Heal = f.Links()[0].SentBytes()
+		at1Heal = f.Links()[1].SentBytes()
+		f.Links()[0].Heal()
+	})
+	env.Run(horizon)
+	f.Stop()
+	// During the outage only the surviving member moved bytes (member 0 may
+	// finish at most one in-flight transfer).
+	if grew := at0Heal - at0Partition; grew > 20_000 {
+		t.Fatalf("partitioned member kept carrying traffic: +%d bytes", grew)
+	}
+	if at1Heal <= at1Partition {
+		t.Fatal("surviving member carried nothing during the outage")
+	}
+	if f.Links()[0].SentBytes() <= at0Heal {
+		t.Fatal("healed member never resumed")
+	}
+	if done == 0 {
+		t.Fatal("no transfers completed")
+	}
+}
+
+func TestDedicatedLinkIsolatesClass(t *testing.T) {
+	// Class affinity: bulk floods member 0; gold is pinned to member 1 and
+	// must see unloaded latency.
+	env := sim.NewEnv(1)
+	f := New(env, Config{
+		Links: []netlink.Config{
+			{Propagation: time.Millisecond, BandwidthBps: 1e6},
+			{Propagation: time.Millisecond, BandwidthBps: 1e6},
+		},
+		Classes: []ClassConfig{
+			{Name: "bulk", Weight: 1, Links: []int{0}},
+			{Name: "gold", Weight: 1, Links: []int{1}},
+		},
+	})
+	bulk := f.Path("bulk", "noisy")
+	gold := f.Path("gold", "victim")
+	horizon := time.Second
+	var bDone int
+	flood(env, bulk, 6, 50_000, horizon, &bDone)
+	var worst time.Duration
+	env.Process("victim", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			took := gold.Transfer(p, 1000) // 1ms serialization + 1ms prop
+			if took > worst {
+				worst = took
+			}
+			p.Sleep(20 * time.Millisecond)
+		}
+	})
+	env.Run(horizon)
+	f.Stop()
+	if worst > 5*time.Millisecond {
+		t.Fatalf("victim latency %v on a dedicated link, want ~2ms", worst)
+	}
+	if l1 := f.Links()[1].SentBytes(); l1 != gold.Bytes() {
+		t.Fatalf("dedicated member carried foreign bytes: link=%d gold=%d", l1, gold.Bytes())
+	}
+}
+
+func TestOversizedTransferPassesQuantum(t *testing.T) {
+	// A transfer far larger than quantum x weight must still be served
+	// (deficit accumulates across rounds).
+	env := sim.NewEnv(1)
+	f := New(env, Config{
+		Links:        []netlink.Config{{BandwidthBps: 1e9}},
+		Classes:      []ClassConfig{{Name: "be", Weight: 1}},
+		QuantumBytes: 1024,
+	})
+	tp := f.Path("be", "t0")
+	okDone := false
+	env.Process("tx", func(p *sim.Proc) {
+		tp.Transfer(p, 10<<20) // 10MB vs 1KB quantum
+		okDone = true
+	})
+	env.Run(0)
+	if !okDone {
+		t.Fatal("oversized transfer never served")
+	}
+}
+
+func TestInterconnectDirectionsIndependent(t *testing.T) {
+	env := sim.NewEnv(1)
+	fwd := []*netlink.Link{netlink.New(env, netlink.Config{BandwidthBps: 1e6})}
+	rev := []*netlink.Link{netlink.New(env, netlink.Config{BandwidthBps: 1e6})}
+	ic := NewInterconnect(env, Config{}, fwd, rev)
+	fp := ic.Forward.Path("", "fwd")
+	rp := ic.Reverse.Path("", "rev")
+	env.Process("tx", func(p *sim.Proc) {
+		fp.Transfer(p, 1000)
+		rp.Transfer(p, 2000)
+	})
+	env.Run(0)
+	if fwd[0].SentBytes() != 1000 || rev[0].SentBytes() != 2000 {
+		t.Fatalf("direction bytes: fwd=%d rev=%d", fwd[0].SentBytes(), rev[0].SentBytes())
+	}
+}
+
+func TestDeterministicScheduling(t *testing.T) {
+	run := func() (int64, int64) {
+		env := sim.NewEnv(42)
+		f := New(env, Config{
+			Links: []netlink.Config{
+				{BandwidthBps: 1e6, Jitter: time.Millisecond, Propagation: time.Millisecond},
+				{BandwidthBps: 2e6, Propagation: 2 * time.Millisecond},
+			},
+			Classes: []ClassConfig{{Name: "a", Weight: 2}, {Name: "b", Weight: 1}},
+		})
+		a := f.Path("a", "a")
+		b := f.Path("b", "b")
+		horizon := 500 * time.Millisecond
+		var n int
+		flood(env, a, 3, 7_000, horizon, &n)
+		flood(env, b, 3, 9_000, horizon, &n)
+		env.Run(horizon)
+		f.Stop()
+		return a.Bytes(), b.Bytes()
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if a1 != a2 || b1 != b2 {
+		t.Fatalf("scheduling diverged across identical runs: (%d,%d) vs (%d,%d)", a1, b1, a2, b2)
+	}
+}

@@ -42,7 +42,12 @@ type Config struct {
 	Horizon time.Duration
 	// Workload tunes each tenant's shop (seed is offset per tenant).
 	Workload workload.Config
-	// System configures the shared two-site system.
+	// ClassOf assigns each tenant index a fabric QoS class (configure the
+	// classes themselves via System.Fabric.Classes). nil leaves every
+	// tenant on the default class — the pre-fabric single-queue behavior.
+	ClassOf func(tenant int) string
+	// System configures the shared two-site system (including the
+	// inter-site fabric's member links and QoS classes).
 	System core.Config
 }
 
@@ -75,8 +80,9 @@ type Tenant struct {
 	BP        *core.BusinessProcess
 
 	// Roles in the mixed workload.
-	Failover  bool // hit by the mid-run site failover
-	Analytics bool // runs snapshot analytics mid-run
+	Failover  bool   // hit by the mid-run site failover
+	Analytics bool   // runs snapshot analytics mid-run
+	Class     string // fabric QoS class the tenant's drain rides
 
 	// Outcomes.
 	TimeToReady     time.Duration
@@ -86,6 +92,12 @@ type Tenant struct {
 	Report          consistency.Report
 	RecoveryTime    time.Duration // failover tenants: simulated downtime
 	Err             error
+
+	// Fabric outcomes (zero when the tenant never drained): what this
+	// tenant's ADC traffic experienced at the shared inter-site fabric.
+	FabricBytes      int64
+	FabricQueueDelay time.Duration // mean ingress queueing delay
+	FabricDrops      int64         // admission drops retried at the ingress
 }
 
 // Fleet is a provisioned multi-tenant system.
@@ -100,6 +112,15 @@ type Fleet struct {
 // plain OLTP tenants deterministically.
 func New(cfg Config) *Fleet {
 	cfg = cfg.withDefaults()
+	// Per-tenant QoS: resolve class assignments before the system is built
+	// so the replication plugin hands each namespace a path in its class.
+	classByNS := make(map[string]string, cfg.Tenants)
+	if cfg.ClassOf != nil {
+		for i := 0; i < cfg.Tenants; i++ {
+			classByNS[fmt.Sprintf("tenant-%03d", i)] = cfg.ClassOf(i)
+		}
+		cfg.System.PathClass = func(ns string) string { return classByNS[ns] }
+	}
 	f := &Fleet{Sys: core.NewSystem(cfg.System), Cfg: cfg}
 	nFail := max(1, int(float64(cfg.Tenants)*cfg.FailoverFraction))
 	nAna := max(1, int(float64(cfg.Tenants)*cfg.AnalyticsFraction))
@@ -108,6 +129,7 @@ func New(cfg Config) *Fleet {
 			Namespace:       fmt.Sprintf("tenant-%03d", i),
 			Index:           i,
 			AnalyticsOrders: -1,
+			Class:           classByNS[fmt.Sprintf("tenant-%03d", i)],
 		}
 		// Interleave roles: failover tenants from the front, analytics from
 		// the back, so both mix with plain tenants in namespace order.
@@ -130,6 +152,11 @@ func (f *Fleet) Run() error {
 	}
 	f.Sys.Env.Run(f.Cfg.Horizon)
 	for _, t := range f.Tenants {
+		if tp := f.Sys.TenantPath(t.Namespace); tp != nil {
+			t.FabricBytes = tp.Bytes()
+			t.FabricQueueDelay = tp.MeanQueueDelay()
+			t.FabricDrops = tp.DropRetries()
+		}
 		if t.Err != nil {
 			return fmt.Errorf("fleet: %s: %w", t.Namespace, t.Err)
 		}
@@ -255,6 +282,9 @@ type Totals struct {
 	MaxTimeToReady                 time.Duration
 	MeanTimeToReady                time.Duration
 	MeanRecovery                   time.Duration // over failover tenants
+	FabricBytes                    int64         // ADC bytes through the shared fabric
+	FabricDrops                    int64         // ingress admission drops (retried)
+	MaxFabricQueueDelay            time.Duration // worst per-tenant mean queueing delay
 }
 
 // Totals sums the per-tenant outcomes.
@@ -281,6 +311,11 @@ func (f *Fleet) Totals() Totals {
 		readySum += t.TimeToReady
 		if t.TimeToReady > tot.MaxTimeToReady {
 			tot.MaxTimeToReady = t.TimeToReady
+		}
+		tot.FabricBytes += t.FabricBytes
+		tot.FabricDrops += t.FabricDrops
+		if t.FabricQueueDelay > tot.MaxFabricQueueDelay {
+			tot.MaxFabricQueueDelay = t.FabricQueueDelay
 		}
 	}
 	if tot.Tenants > 0 {

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/netlink"
 )
 
 func testConfig(tenants, orders int) Config {
@@ -84,6 +86,61 @@ func TestFleetFailoverTenantsLoseOnlyTail(t *testing.T) {
 	}
 	if lost == 0 {
 		t.Fatal("slow link produced no in-flight loss; disaster path untested")
+	}
+}
+
+// TestFleetPerTenantQoSOnMultiLinkFabric drives the whole platform stack —
+// operator, replication plugin, drains — over a two-member fabric with
+// weighted QoS classes, every tenant assigned a class. The run must stay
+// consistent and the per-tenant fabric counters must show each class
+// actually carried that tenant's drain traffic.
+func TestFleetPerTenantQoSOnMultiLinkFabric(t *testing.T) {
+	cfg := testConfig(8, 6)
+	member := netlink.Config{Propagation: 2 * time.Millisecond, BandwidthBps: 1e7}
+	cfg.System.Fabric = fabric.Config{
+		Links: []netlink.Config{member, member},
+		Classes: []fabric.ClassConfig{
+			{Name: "gold", Weight: 4},
+			{Name: "bulk", Weight: 1},
+		},
+	}
+	cfg.ClassOf = func(i int) string {
+		if i%2 == 0 {
+			return "gold"
+		}
+		return "bulk"
+	}
+	f := New(cfg)
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tot := f.Totals()
+	if tot.Verified != 8 || tot.Collapsed != 0 {
+		t.Fatalf("fleet on QoS fabric inconsistent: %+v", tot)
+	}
+	if tot.FabricBytes == 0 {
+		t.Fatal("no drain traffic crossed the fabric")
+	}
+	for _, tn := range f.Tenants {
+		want := "gold"
+		if tn.Index%2 == 1 {
+			want = "bulk"
+		}
+		if tn.Class != want {
+			t.Fatalf("%s class = %q, want %q", tn.Namespace, tn.Class, want)
+		}
+		tp := f.Sys.TenantPath(tn.Namespace)
+		if tp == nil || tp.Class() != want {
+			t.Fatalf("%s path missing or misclassed", tn.Namespace)
+		}
+		if tn.FabricBytes == 0 {
+			t.Fatalf("%s moved no bytes through the fabric", tn.Namespace)
+		}
+	}
+	// Both members must carry forward traffic.
+	links := f.Sys.Fabric.Forward.Links()
+	if links[0].SentBytes() == 0 || links[1].SentBytes() == 0 {
+		t.Fatalf("fabric members unbalanced: %d / %d", links[0].SentBytes(), links[1].SentBytes())
 	}
 }
 

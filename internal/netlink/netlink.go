@@ -26,9 +26,16 @@ type Config struct {
 	// transfers are retransmitted after RetransmitTimeout.
 	LossProb float64
 	// RetransmitTimeout is the delay before a lost transfer is retried.
-	// Zero defaults to 4x the propagation delay (a TCP-ish RTO).
+	// Zero defaults to 4x the propagation delay (a TCP-ish RTO), floored
+	// at minRetransmitTimeout so a zero-propagation lossy link cannot
+	// retry in a zero-duration loop at one simulated instant.
 	RetransmitTimeout time.Duration
 }
+
+// minRetransmitTimeout floors the defaulted RTO. Without it a config with
+// Propagation 0 and LossProb > 0 would retry lost transfers with zero
+// delay, burning scheduler steps at a single simulated timestamp.
+const minRetransmitTimeout = time.Millisecond
 
 // Link is one direction of the inter-site connection. The two directions of
 // a site pair are independent Links so request and ack traffic do not
@@ -49,6 +56,9 @@ type Link struct {
 func New(env *sim.Env, cfg Config) *Link {
 	if cfg.RetransmitTimeout <= 0 {
 		cfg.RetransmitTimeout = 4 * cfg.Propagation
+		if cfg.RetransmitTimeout < minRetransmitTimeout {
+			cfg.RetransmitTimeout = minRetransmitTimeout
+		}
 	}
 	return &Link{
 		env:    env,
@@ -121,6 +131,11 @@ func (l *Link) Heal() {
 // Partitioned reports whether the link is currently severed.
 func (l *Link) Partitioned() bool { return l.partition }
 
+// HealedEvent returns the event the next Heal triggers. It is meaningful
+// while the link is partitioned: schedulers that route around a severed
+// member (the inter-site fabric) park on it instead of polling.
+func (l *Link) HealedEvent() *sim.Event { return l.healed }
+
 // SentBytes returns the total payload bytes delivered.
 func (l *Link) SentBytes() int64 { return l.sentBytes }
 
@@ -153,6 +168,13 @@ type Pair struct {
 // NewPair builds both directions from one symmetric config.
 func NewPair(env *sim.Env, cfg Config) *Pair {
 	return &Pair{Forward: New(env, cfg), Reverse: New(env, cfg)}
+}
+
+// NewPairAsym builds a pair whose directions differ — e.g. a fat forward
+// journal pipe with a thin ack return path, or heterogeneous fabric member
+// links whose two directions are provisioned independently.
+func NewPairAsym(env *sim.Env, fwd, rev Config) *Pair {
+	return &Pair{Forward: New(env, fwd), Reverse: New(env, rev)}
 }
 
 // RTT returns the configured round-trip time (both propagation delays,

@@ -16,7 +16,7 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/netlink"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -45,7 +45,7 @@ type Group struct {
 	journal *storage.Journal
 	target  *storage.Array
 	mapping map[storage.VolumeID]storage.VolumeID
-	link    *netlink.Link
+	path    fabric.Path
 	cfg     Config
 
 	stopEv   *sim.Event
@@ -66,9 +66,11 @@ type Group struct {
 
 // NewGroup wires a source journal to target volumes. mapping translates each
 // source volume ID to its backup-site twin; every journal member must be
-// mapped and every mapped target must exist on the target array.
+// mapped and every mapped target must exist on the target array. path is the
+// inter-site transfer path — a raw *netlink.Link or a QoS-classed
+// fabric.TenantPath are both fine.
 func NewGroup(env *sim.Env, name string, journal *storage.Journal, target *storage.Array,
-	mapping map[storage.VolumeID]storage.VolumeID, link *netlink.Link, cfg Config) (*Group, error) {
+	mapping map[storage.VolumeID]storage.VolumeID, path fabric.Path, cfg Config) (*Group, error) {
 	for _, src := range journal.Members() {
 		dst, ok := mapping[src]
 		if !ok {
@@ -88,7 +90,7 @@ func NewGroup(env *sim.Env, name string, journal *storage.Journal, target *stora
 		journal:  journal,
 		target:   target,
 		mapping:  m,
-		link:     link,
+		path:     path,
 		cfg:      cfg.withDefaults(),
 		stopEv:   env.NewEvent(),
 		caughtUp: env.NewEvent(),
@@ -118,7 +120,7 @@ func (g *Group) InitialCopy(p *sim.Proc, source *storage.Array) error {
 		}
 		for _, b := range sv.WrittenBlocks() {
 			data := sv.Peek(b)
-			g.link.Transfer(p, len(data)+64)
+			g.path.Transfer(p, len(data)+64)
 			if err := tv.Apply(p, b, data); err != nil {
 				return err
 			}
@@ -173,7 +175,7 @@ func (g *Group) drain(p *sim.Proc) {
 		for _, r := range recs {
 			batchBytes += r.SizeBytes()
 		}
-		g.link.Transfer(p, batchBytes)
+		g.path.Transfer(p, batchBytes)
 		for i, r := range recs {
 			// Stop splits the pair: anything not yet applied is lost in
 			// flight, exactly as a disaster (or operator split) leaves it.
@@ -308,7 +310,7 @@ func (g *Group) Resync(p *sim.Proc, source *storage.Array, maxPasses int) error 
 			sv.StartChangeTracking()
 			for _, b := range blocks {
 				data := sv.Peek(b)
-				g.link.Transfer(p, len(data)+64)
+				g.path.Transfer(p, len(data)+64)
 				if err := tv.Apply(p, b, data); err != nil {
 					return fmt.Errorf("replication %s: resync %s[%d]: %w", g.name, src, b, err)
 				}

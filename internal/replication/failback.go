@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/netlink"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -42,7 +42,7 @@ type FailbackStats struct {
 // The old source's stranded journal is discarded (that data was lost by
 // the disaster; the backup's history won) and its volumes' journal
 // attachments are replaced by the reverse group's.
-func Failback(p *sim.Proc, old *Group, source *storage.Array, reverseLink *netlink.Link, cfg Config) (*Group, FailbackStats, error) {
+func Failback(p *sim.Proc, old *Group, source *storage.Array, reversePath fabric.Path, cfg Config) (*Group, FailbackStats, error) {
 	var stats FailbackStats
 	if !old.failedOver {
 		return nil, stats, ErrNotFailedOver
@@ -84,7 +84,7 @@ func Failback(p *sim.Proc, old *Group, source *storage.Array, reverseLink *netli
 	if err != nil {
 		return nil, stats, err
 	}
-	reverse, err := NewGroup(old.env, "fb-"+old.name, rj, source, reverseMapping, reverseLink, cfg)
+	reverse, err := NewGroup(old.env, "fb-"+old.name, rj, source, reverseMapping, reversePath, cfg)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -115,7 +115,7 @@ func Failback(p *sim.Proc, old *Group, source *storage.Array, reverseLink *netli
 		sortInt64(blocks)
 		for _, b := range blocks {
 			data := bv.Peek(b)
-			reverseLink.Transfer(p, len(data)+64)
+			reversePath.Transfer(p, len(data)+64)
 			if err := sv.Apply(p, b, data); err != nil {
 				return nil, stats, fmt.Errorf("replication: failback apply %s[%d]: %w", src, b, err)
 			}

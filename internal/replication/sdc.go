@@ -3,6 +3,7 @@ package replication
 import (
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/netlink"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -28,8 +29,8 @@ type BlockWriter interface {
 type SyncVolume struct {
 	source  *storage.Volume
 	target  *storage.Volume
-	forward *netlink.Link
-	reverse *netlink.Link
+	forward fabric.Path
+	reverse fabric.Path
 
 	writes       int64
 	remoteLag    time.Duration // cumulative remote round-trip overhead
@@ -38,7 +39,13 @@ type SyncVolume struct {
 
 // NewSyncVolume pairs a source volume with its remote twin over a link pair.
 func NewSyncVolume(source, target *storage.Volume, links *netlink.Pair) *SyncVolume {
-	return &SyncVolume{source: source, target: target, forward: links.Forward, reverse: links.Reverse}
+	return NewSyncVolumeOnPaths(source, target, links.Forward, links.Reverse)
+}
+
+// NewSyncVolumeOnPaths is NewSyncVolume over explicit forward/reverse
+// transfer paths — how an SDC pair rides a QoS-classed inter-site fabric.
+func NewSyncVolumeOnPaths(source, target *storage.Volume, forward, reverse fabric.Path) *SyncVolume {
+	return &SyncVolume{source: source, target: target, forward: forward, reverse: reverse}
 }
 
 // Write stores the block locally, mirrors it remotely, and returns after the
