@@ -146,6 +146,28 @@ func BenchmarkE12_Interference(b *testing.B) {
 	}
 }
 
+// BenchmarkE13_ShardedThroughput regenerates E13: one write-heavy tenant's
+// consistency-group journal sharded across 1/2/4/8 drain lanes over a
+// four-link fabric. The acceptance shape is asserted here too: >= 2x drain
+// throughput at 4 shards vs 1, and a consistent cross-volume cut after a
+// mid-run failover at every shard count.
+func BenchmarkE13_ShardedThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.E13ShardedThroughput(int64(i+1), []int{1, 2, 4, 8}, 4000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if !r.FailoverConsistent {
+				b.Fatalf("failover cut broke at %d shards: %+v", r.Shards, r)
+			}
+		}
+		if results[2].Shards != 4 || results[2].Speedup < 2 {
+			b.Fatalf("4-shard speedup %.2fx < 2x: %+v", results[2].Speedup, results)
+		}
+	}
+}
+
 // BenchmarkE11_FleetScale regenerates E11: 64 tenant namespaces on one
 // shared two-site system, mixed OLTP + snapshot analytics + mid-run
 // failovers, with per-tenant cross-volume consistency verified. This is the

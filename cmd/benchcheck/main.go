@@ -1,0 +1,219 @@
+// Command benchcheck is the CI bench-regression gate: it parses `go test
+// -bench` output from stdin, compares each harness against the committed
+// BENCH_baseline.json, and exits non-zero when any harness's ns/op regressed
+// past the threshold. Benchmarks not in the baseline are reported as "new"
+// (allowed — commit a fresh baseline to start tracking them); alloc and
+// bytes-per-op regressions only warn, since wall cost is the gate.
+//
+// Runs repeated with -count are collapsed to each benchmark's MINIMUM
+// ns/op — the standard noise-robust statistic for a shared CI box — and
+// `make baseline` records minima the same way, so the comparison is
+// like-for-like.
+//
+// Usage (what `make bench-check` runs):
+//
+//	go test -run '^$' -bench . -benchtime 3x -benchmem -count 3 . | go run ./cmd/benchcheck -baseline BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one harness's recorded cost — the schema of BENCH_baseline.json
+// (make baseline writes it, this tool reads it).
+type Entry struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Verdict classifies one benchmark against the baseline.
+type Verdict struct {
+	Name     string
+	Status   string // "ok", "regressed", "alloc-warn", "new", "missing"
+	Detail   string
+	Blocking bool
+}
+
+// cpuSuffix strips the -GOMAXPROCS suffix go test appends to bench names,
+// so runs from machines with different core counts compare.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchOutput extracts benchmark entries from `go test -bench` output.
+// With -benchmem each line reads:
+//
+//	BenchmarkName-N  iters  ns/op-value ns/op  B-value B/op  allocs-value allocs/op
+func parseBenchOutput(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		e := Entry{Name: cpuSuffix.ReplaceAllString(f[0], "")}
+		var err error
+		if e.Iters, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+			continue
+		}
+		// Units follow their values; scan pairwise so missing -benchmem
+		// columns (or extra custom metrics) don't break parsing.
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			switch f[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			}
+		}
+		if e.NsPerOp == 0 {
+			continue
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return aggregateMin(out), nil
+}
+
+// aggregateMin collapses repeated measurements of one benchmark (go test
+// -count N) to the run with the minimum ns/op, preserving first-seen order.
+func aggregateMin(entries []Entry) []Entry {
+	best := make(map[string]int, len(entries))
+	var out []Entry
+	for _, e := range entries {
+		i, ok := best[e.Name]
+		if !ok {
+			best[e.Name] = len(out)
+			out = append(out, e)
+			continue
+		}
+		if e.NsPerOp < out[i].NsPerOp {
+			out[i] = e
+		}
+	}
+	return out
+}
+
+func loadBaseline(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// ratio formats a relative change, e.g. +31.2% or -8.4%.
+func ratio(cur, base float64) string {
+	return fmt.Sprintf("%+.1f%%", (cur/base-1)*100)
+}
+
+// compare classifies every current benchmark against the baseline. ns/op
+// regressions beyond nsThreshold block; alloc/bytes regressions beyond
+// allocThreshold warn; baseline entries absent from the run warn as
+// "missing" (a renamed or deleted harness needs a fresh baseline).
+func compare(baseline, current []Entry, nsThreshold, allocThreshold float64) []Verdict {
+	base := make(map[string]Entry, len(baseline))
+	for _, e := range baseline {
+		base[e.Name] = e
+	}
+	seen := make(map[string]bool, len(current))
+	var out []Verdict
+	for _, cur := range current {
+		seen[cur.Name] = true
+		b, ok := base[cur.Name]
+		if !ok {
+			out = append(out, Verdict{Name: cur.Name, Status: "new",
+				Detail: fmt.Sprintf("%.0f ns/op (not in baseline; `make baseline` to track)", cur.NsPerOp)})
+			continue
+		}
+		if b.NsPerOp > 0 && cur.NsPerOp > b.NsPerOp*(1+nsThreshold) {
+			out = append(out, Verdict{Name: cur.Name, Status: "regressed", Blocking: true,
+				Detail: fmt.Sprintf("ns/op %.0f -> %.0f (%s, threshold +%.0f%%)",
+					b.NsPerOp, cur.NsPerOp, ratio(cur.NsPerOp, b.NsPerOp), nsThreshold*100)})
+			continue
+		}
+		if b.AllocsPerOp > 0 && cur.AllocsPerOp > b.AllocsPerOp*(1+allocThreshold) {
+			out = append(out, Verdict{Name: cur.Name, Status: "alloc-warn",
+				Detail: fmt.Sprintf("allocs/op %.0f -> %.0f (%s) — warning only",
+					b.AllocsPerOp, cur.AllocsPerOp, ratio(cur.AllocsPerOp, b.AllocsPerOp))})
+			continue
+		}
+		if b.BytesPerOp > 0 && cur.BytesPerOp > b.BytesPerOp*(1+allocThreshold) {
+			out = append(out, Verdict{Name: cur.Name, Status: "alloc-warn",
+				Detail: fmt.Sprintf("B/op %.0f -> %.0f (%s) — warning only",
+					b.BytesPerOp, cur.BytesPerOp, ratio(cur.BytesPerOp, b.BytesPerOp))})
+			continue
+		}
+		out = append(out, Verdict{Name: cur.Name, Status: "ok",
+			Detail: fmt.Sprintf("ns/op %.0f -> %.0f (%s)", b.NsPerOp, cur.NsPerOp, ratio(cur.NsPerOp, b.NsPerOp))})
+	}
+	for _, b := range baseline {
+		if !seen[b.Name] {
+			out = append(out, Verdict{Name: b.Name, Status: "missing",
+				Detail: "in baseline but absent from this run"})
+		}
+	}
+	return out
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline to compare against")
+	nsThreshold := flag.Float64("threshold", 0.25, "blocking ns/op regression threshold (fraction)")
+	allocThreshold := flag.Float64("alloc-threshold", 0.25, "warn-only allocs/op regression threshold (fraction)")
+	flag.Parse()
+
+	baseline, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := parseBenchOutput(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: reading bench output: %v\n", err)
+		os.Exit(2)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark lines on stdin (pipe `go test -bench` output in)")
+		os.Exit(2)
+	}
+	verdicts := compare(baseline, current, *nsThreshold, *allocThreshold)
+	blocking := 0
+	for _, v := range verdicts {
+		fmt.Printf("%-12s %-36s %s\n", v.Status, v.Name, v.Detail)
+		if v.Blocking {
+			blocking++
+		}
+	}
+	if blocking > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d benchmark(s) regressed past the ns/op threshold\n", blocking)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d benchmark(s) within threshold of %s\n", len(current), *baselinePath)
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor
+BenchmarkE1_EndToEndPipeline-96          3          11000000 ns/op         5242880 B/op      12345 allocs/op
+BenchmarkE2_OperatorAutomation-96        3           1300000 ns/op          100000 B/op       2000 allocs/op
+BenchmarkE13_ShardedThroughput-96        3         230000000 ns/op        90000000 B/op     900000 allocs/op
+PASS
+ok      repro   1.234s
+`
+
+func TestParseBenchOutputStripsCPUSuffixAndReadsBenchmem(t *testing.T) {
+	entries, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(entries))
+	}
+	e := entries[0]
+	if e.Name != "BenchmarkE1_EndToEndPipeline" {
+		t.Errorf("name = %q (cpu suffix not stripped?)", e.Name)
+	}
+	if e.Iters != 3 || e.NsPerOp != 11000000 || e.BytesPerOp != 5242880 || e.AllocsPerOp != 12345 {
+		t.Errorf("entry = %+v", e)
+	}
+}
+
+func TestParseBenchOutputTakesMinAcrossCounts(t *testing.T) {
+	in := "BenchmarkX-8  3  3000 ns/op\nBenchmarkX-8  3  1000 ns/op\nBenchmarkX-8  3  2000 ns/op\n"
+	entries, err := parseBenchOutput(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].NsPerOp != 1000 {
+		t.Fatalf("entries = %+v, want single min-ns entry", entries)
+	}
+}
+
+func TestParseBenchOutputWithoutBenchmemColumns(t *testing.T) {
+	entries, err := parseBenchOutput(strings.NewReader("BenchmarkX-8  5  1000 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].NsPerOp != 1000 || entries[0].AllocsPerOp != 0 {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func verdictFor(t *testing.T, vs []Verdict, name string) Verdict {
+	t.Helper()
+	for _, v := range vs {
+		if v.Name == name {
+			return v
+		}
+	}
+	t.Fatalf("no verdict for %s in %+v", name, vs)
+	return Verdict{}
+}
+
+func TestCompareClassifiesRegressionsNewAndMissing(t *testing.T) {
+	baseline := []Entry{
+		{Name: "BenchA", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchB", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchC", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchGone", NsPerOp: 1000},
+	}
+	baseline = append(baseline, Entry{Name: "BenchD", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 1000})
+	current := []Entry{
+		{Name: "BenchA", NsPerOp: 1200, AllocsPerOp: 100},                   // +20% — within 25%
+		{Name: "BenchB", NsPerOp: 1300, AllocsPerOp: 100},                   // +30% — blocks
+		{Name: "BenchC", NsPerOp: 1000, AllocsPerOp: 200},                   // alloc doubled — warns only
+		{Name: "BenchNew", NsPerOp: 500, AllocsPerOp: 100},                  // not in baseline — allowed
+		{Name: "BenchD", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 3000}, // B/op tripled — warns only
+	}
+	vs := compare(baseline, current, 0.25, 0.25)
+
+	if v := verdictFor(t, vs, "BenchA"); v.Status != "ok" || v.Blocking {
+		t.Errorf("BenchA = %+v", v)
+	}
+	if v := verdictFor(t, vs, "BenchB"); v.Status != "regressed" || !v.Blocking {
+		t.Errorf("BenchB = %+v", v)
+	}
+	if v := verdictFor(t, vs, "BenchC"); v.Status != "alloc-warn" || v.Blocking {
+		t.Errorf("BenchC = %+v (alloc regressions must warn, not fail)", v)
+	}
+	if v := verdictFor(t, vs, "BenchNew"); v.Status != "new" || v.Blocking {
+		t.Errorf("BenchNew = %+v (new benches are allowed)", v)
+	}
+	if v := verdictFor(t, vs, "BenchD"); v.Status != "alloc-warn" || v.Blocking {
+		t.Errorf("BenchD = %+v (B/op regressions must warn, not fail)", v)
+	}
+	if v := verdictFor(t, vs, "BenchGone"); v.Status != "missing" || v.Blocking {
+		t.Errorf("BenchGone = %+v", v)
+	}
+}
+
+func TestCompareBoundaryExactlyAtThresholdPasses(t *testing.T) {
+	baseline := []Entry{{Name: "B", NsPerOp: 1000}}
+	// Exactly +25% is NOT a regression (strictly-greater check).
+	vs := compare(baseline, []Entry{{Name: "B", NsPerOp: 1250}}, 0.25, 0.25)
+	if v := verdictFor(t, vs, "B"); v.Blocking {
+		t.Errorf("exactly-at-threshold blocked: %+v", v)
+	}
+	vs = compare(baseline, []Entry{{Name: "B", NsPerOp: 1251}}, 0.25, 0.25)
+	if v := verdictFor(t, vs, "B"); !v.Blocking {
+		t.Errorf("past-threshold not blocked: %+v", v)
+	}
+}
+
+func TestCompareToleratesBaselineWithoutAllocs(t *testing.T) {
+	// Pre-benchmem baselines have zero alloc fields; they must not warn.
+	baseline := []Entry{{Name: "B", NsPerOp: 1000}}
+	vs := compare(baseline, []Entry{{Name: "B", NsPerOp: 1000, AllocsPerOp: 999}}, 0.25, 0.25)
+	if v := verdictFor(t, vs, "B"); v.Status != "ok" {
+		t.Errorf("verdict = %+v", v)
+	}
+}

@@ -1,5 +1,5 @@
 // Command experiments regenerates every table/figure of the reproduction
-// (E1-E12; DESIGN.md carries the experiment index). Select a subset with
+// (E1-E13; DESIGN.md carries the experiment index). Select a subset with
 // -run.
 package main
 
@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment IDs (e1,e2,...,e12) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment IDs (e1,e2,...,e13) or 'all'")
 	seed := flag.Int64("seed", 1, "base simulation seed")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	flag.Parse()
@@ -130,6 +130,17 @@ func main() {
 			log.Fatalf("E12: %v", err)
 		}
 		fmt.Println(experiments.E12Table(res))
+	}
+	if sel("e13") {
+		e13Writes := 4000
+		if *quick {
+			e13Writes = 1500
+		}
+		res, err := experiments.E13ShardedThroughput(*seed, []int{1, 2, 4, 8}, e13Writes)
+		if err != nil {
+			log.Fatalf("E13: %v", err)
+		}
+		fmt.Println(experiments.E13Table(res))
 	}
 	if sel("e9") {
 		batch, err := experiments.E9BatchSweep(*seed, []int{1, 4, 16, 64, 256}, orders)

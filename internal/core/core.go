@@ -65,6 +65,11 @@ type Config struct {
 	// ConsistencyGroup is the operator's mode. Default true (the paper's
 	// configuration); experiment E6 sets it false.
 	ConsistencyGroup *bool
+	// JournalShards, when > 1, shards each consistency group's journal so
+	// the replication plugin drains it on that many lanes, each on its own
+	// fabric path (experiment E13). 0 or 1 keeps the paper's single shared
+	// journal — a strict passthrough.
+	JournalShards int
 	// DB tunes the databases opened by DeployBusinessProcess.
 	DB db.Config
 	// VolumeBlocks is the size of each provisioned volume (default 2048).
@@ -115,9 +120,15 @@ type System struct {
 	Replication *csiplugin.ReplicationPlugin
 
 	// Per-namespace fabric paths (lazily created; one forward for the ADC
-	// drain, one reverse for failback).
-	paths    map[string]*fabric.TenantPath
-	revPaths map[string]*fabric.TenantPath
+	// drain, one reverse for failback, and — for sharded journals — one
+	// forward path per drain lane).
+	paths     map[string]*fabric.TenantPath
+	revPaths  map[string]*fabric.TenantPath
+	lanePaths map[string][]*fabric.TenantPath
+
+	// reverse holds the backup→main groups Failback started; they live
+	// outside the replication plugin's registry, so Stop tracks them here.
+	reverse []*replication.Group
 }
 
 // NewSystem builds and starts the demonstration system. The returned
@@ -139,8 +150,9 @@ func NewSystem(cfg Config) *System {
 			API:   platform.NewAPIServer(env, cfg.API),
 			Array: storage.NewArray(env, "vsp-backup", cfg.Storage),
 		},
-		paths:    make(map[string]*fabric.TenantPath),
-		revPaths: make(map[string]*fabric.TenantPath),
+		paths:     make(map[string]*fabric.TenantPath),
+		revPaths:  make(map[string]*fabric.TenantPath),
+		lanePaths: make(map[string][]*fabric.TenantPath),
 	}
 	// Inter-site fabric: member links default to the single cfg.Link; a
 	// Fabric.Links roster swaps in a multi-link interconnect. Member 0's
@@ -165,8 +177,12 @@ func NewSystem(cfg Config) *System {
 		MainArray:   sys.Main.Array,
 		BackupArray: sys.Backup.Array,
 		PathFor:     func(namespace string) fabric.Path { return sys.PathFor(namespace) },
+		LanePathFor: func(namespace string, lane int) fabric.Path { return sys.LanePathFor(namespace, lane) },
 	}, cfg.Replication)
-	sys.Operator = operator.New(env, sys.Main.API, operator.Config{ConsistencyGroup: *cfg.ConsistencyGroup})
+	sys.Operator = operator.New(env, sys.Main.API, operator.Config{
+		ConsistencyGroup: *cfg.ConsistencyGroup,
+		JournalShards:    cfg.JournalShards,
+	})
 	sys.Main.Snapshots = csiplugin.NewSnapshotController(env, sys.Main.API, sys.Main.Array, cfg.FeatureGates)
 	sys.Backup.Snapshots = csiplugin.NewSnapshotController(env, sys.Backup.API, sys.Backup.Array, cfg.FeatureGates)
 
@@ -186,6 +202,28 @@ func NewSystem(cfg Config) *System {
 		}
 	})
 	return sys
+}
+
+// Stop quiesces the system's background processes: every controller, every
+// running replication engine, and the fabric dispatchers. Call it (then
+// drain with Env.Run) when a run is complete and the system will be
+// discarded. Simulated processes are goroutines parked on events, so a
+// system that is dropped without Stop leaks its whole process set — and a
+// benchmark iterating over fresh systems accumulates those leaks into
+// GC/scheduler cost that corrupts later measurements.
+func (sys *System) Stop() {
+	sys.Operator.Stop()
+	sys.Provisioner.Stop()
+	sys.Replication.Stop()
+	sys.Main.Snapshots.Stop()
+	sys.Backup.Snapshots.Stop()
+	for _, g := range sys.Replication.AllGroups() {
+		g.Stop()
+	}
+	for _, g := range sys.reverse {
+		g.Stop()
+	}
+	sys.Fabric.Stop()
 }
 
 // BusinessProcess is the deployed e-commerce application of §II: a
@@ -345,12 +383,33 @@ func (sys *System) ReversePathFor(namespace string) *fabric.TenantPath {
 	return tp
 }
 
+// LanePathFor returns the namespace's forward fabric path for drain lane
+// `lane` of a sharded journal, creating it on first use. Each lane gets its
+// own counted path so per-lane bytes and queueing stay observable.
+func (sys *System) LanePathFor(namespace string, lane int) *fabric.TenantPath {
+	ps := sys.lanePaths[namespace]
+	for len(ps) <= lane {
+		ps = append(ps, nil)
+	}
+	if ps[lane] == nil {
+		ps[lane] = sys.Fabric.Forward.Path(sys.classFor(namespace), fmt.Sprintf("adc:%s:s%d", namespace, lane))
+	}
+	sys.lanePaths[namespace] = ps
+	return ps[lane]
+}
+
 // TenantPath returns the namespace's forward fabric path if one was
 // created (nil otherwise) — the per-tenant interference counters.
 func (sys *System) TenantPath(namespace string) *fabric.TenantPath { return sys.paths[namespace] }
 
-// Groups returns the running replication groups for a namespace.
-func (sys *System) Groups(namespace string) []*replication.Group {
+// TenantLanePaths returns the namespace's per-lane forward paths (nil when
+// the namespace never drained through sharded lanes).
+func (sys *System) TenantLanePaths(namespace string) []*fabric.TenantPath {
+	return sys.lanePaths[namespace]
+}
+
+// Groups returns the running replication engines for a namespace.
+func (sys *System) Groups(namespace string) []replication.Replicator {
 	return sys.Replication.Groups(operator.GroupNameFor(namespace))
 }
 

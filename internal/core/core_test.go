@@ -68,7 +68,7 @@ func TestEnableBackupConfiguresReplication(t *testing.T) {
 			t.Errorf("groups = %d, want 1 (consistency group)", len(groups))
 			return
 		}
-		if got := len(groups[0].Journal().Members()); got != 2 {
+		if got := len(groups[0].Members()); got != 2 {
 			t.Errorf("journal members = %d", got)
 		}
 		// Backup PVCs appeared (Fig. 4).

@@ -63,7 +63,7 @@ func (sys *System) SnapshotBackup(p *sim.Proc, namespace, snapName string) (*sto
 func (sys *System) backupVolumeIDs(namespace string) []storage.VolumeID {
 	var out []storage.VolumeID
 	for _, g := range sys.Groups(namespace) {
-		out = append(out, g.Journal().Members()...)
+		out = append(out, g.Members()...)
 	}
 	return out
 }
@@ -111,16 +111,28 @@ type FailbackResult struct {
 func (sys *System) Failback(p *sim.Proc) (*FailbackResult, error) {
 	var res FailbackResult
 	start := p.Now()
+	// Refuse before touching anything: sharded failback is an open
+	// follow-up (see ROADMAP), and discovering that mid-loop would leave
+	// earlier groups resynced with reverse replication already running.
+	var failedOver []*replication.Group
 	for _, g := range sys.Replication.AllGroups() {
 		if !g.FailedOver() {
 			continue
 		}
-		reverse, stats, err := replication.Failback(p, g, sys.Main.Array,
-			sys.ReversePathFor(sys.Replication.NamespaceOf(g)), sys.Cfg.Replication)
+		ag, ok := g.(*replication.Group)
+		if !ok {
+			return nil, fmt.Errorf("core: failback for sharded group %s not supported", g.Name())
+		}
+		failedOver = append(failedOver, ag)
+	}
+	for _, ag := range failedOver {
+		reverse, stats, err := replication.Failback(p, ag, sys.Main.Array,
+			sys.ReversePathFor(sys.Replication.NamespaceOf(ag)), sys.Cfg.Replication)
 		if err != nil {
 			return nil, err
 		}
 		res.Reverse = append(res.Reverse, reverse)
+		sys.reverse = append(sys.reverse, reverse)
 		res.DeltaBlocks += stats.DeltaBlocks
 		res.FullBlocks += stats.TotalBlocks
 	}

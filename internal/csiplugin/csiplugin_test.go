@@ -241,7 +241,7 @@ func TestReplicationPluginTeardownOnDelete(t *testing.T) {
 	if len(rp.Groups("backup-shop")) != 1 {
 		t.Fatal("group not configured")
 	}
-	journalID := rp.Groups("backup-shop")[0].Journal().ID()
+	journalID := rp.Groups("backup-shop")[0].JournalID()
 	f.env.Process("delete", func(p *sim.Proc) {
 		f.sites.MainAPI.Delete(p, platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: "backup-shop"})
 	})
@@ -347,4 +347,102 @@ func TestSnapshotGroupGateOnCreatesAtomically(t *testing.T) {
 		}
 	})
 	f.env.Run(0)
+}
+
+// createShardedRG posts a ReplicationGroup CR requesting a sharded journal
+// and runs the plugin until Ready.
+func (f *twoSites) createShardedRG(t *testing.T, name string, shards int, pvcs ...string) *ReplicationPlugin {
+	t.Helper()
+	rp := NewReplicationPlugin(f.env, f.sites, replication.Config{})
+	rp.Start()
+	f.env.Process("rg", func(p *sim.Proc) {
+		err := f.sites.MainAPI.Create(p, &platform.ReplicationGroup{
+			Meta: platform.Meta{Kind: platform.KindReplicationGroup, Name: name},
+			Spec: platform.ReplicationGroupSpec{
+				SourceNamespace:  "shop",
+				PVCNames:         pvcs,
+				ConsistencyGroup: true,
+				JournalShards:    shards,
+			},
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	f.env.Run(5 * time.Second)
+	return rp
+}
+
+// TestReplicationPluginShardedJournal reconciles a CR with JournalShards=4
+// into one sharded consistency group drained by a multi-lane engine, checks
+// records replicate, and verifies teardown removes the shard journals.
+func TestReplicationPluginShardedJournal(t *testing.T) {
+	f := newTwoSites(t)
+	pvcs := []string{"d0", "d1", "d2", "d3", "d4", "d5"}
+	f.createClaims(t, "shop", pvcs...)
+	rp := f.createShardedRG(t, "backup-shop", 4, pvcs...)
+
+	groups := rp.Groups("backup-shop")
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(groups))
+	}
+	sg, ok := groups[0].(*replication.ShardedGroup)
+	if !ok {
+		t.Fatalf("engine is %T, want *replication.ShardedGroup", groups[0])
+	}
+	if sg.Lanes() != 4 {
+		t.Fatalf("lanes = %d, want 4", sg.Lanes())
+	}
+	sj, err := f.sites.MainArray.ShardedJournal("jnl-backup-shop-0")
+	if err != nil {
+		t.Fatalf("sharded journal not registered: %v", err)
+	}
+	if len(sj.Members()) != len(pvcs) || sj.ShardCount() != 4 {
+		t.Fatalf("journal members=%d shards=%d", len(sj.Members()), sj.ShardCount())
+	}
+	f.env.Process("check", func(p *sim.Proc) {
+		obj, err := f.sites.MainAPI.Get(p, platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: "backup-shop"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rg := obj.(*platform.ReplicationGroup)
+		if rg.Status.Phase != platform.GroupReady || rg.Status.JournalID != "jnl-backup-shop-0" {
+			t.Errorf("status = %+v", rg.Status)
+		}
+		// Writes replicate through the lanes to the read-only twins.
+		v, _ := f.sites.MainArray.Volume(VolumeIDForClaim("shop", "d0"))
+		buf := make([]byte, f.sites.MainArray.Config().BlockSize)
+		buf[0] = 0x5A
+		if _, err := v.Write(p, 7, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		if !sg.CatchUp(p) {
+			t.Error("catch-up interrupted")
+			return
+		}
+		tv, _ := f.sites.BackupArray.Volume(VolumeIDForClaim("shop", "d0"))
+		if got := tv.Peek(7); got[0] != 0x5A {
+			t.Errorf("record not applied at backup: %x", got[0])
+		}
+	})
+	f.env.Run(0)
+
+	f.env.Process("delete", func(p *sim.Proc) {
+		f.sites.MainAPI.Delete(p, platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: "backup-shop"})
+	})
+	f.env.Run(5 * time.Second)
+	if len(rp.Groups("backup-shop")) != 0 {
+		t.Fatal("groups survive CR deletion")
+	}
+	if _, err := f.sites.MainArray.ShardedJournal("jnl-backup-shop-0"); err == nil {
+		t.Fatal("sharded journal survives CR deletion")
+	}
+	for _, name := range pvcs {
+		v, _ := f.sites.MainArray.Volume(VolumeIDForClaim("shop", name))
+		if v.Journal() != nil {
+			t.Fatalf("%s still journal-attached after teardown", name)
+		}
+	}
 }

@@ -22,6 +22,11 @@ type SitePair struct {
 	// each namespace its own path — how per-tenant QoS classes attach.
 	Path    fabric.Path
 	PathFor func(namespace string) fabric.Path
+	// LanePathFor, when set, hands each drain lane of a namespace's
+	// sharded group its own path (lane k drains journal shard k). Without
+	// it every lane shares the namespace path, which serializes transfers
+	// and forfeits most of the sharding win.
+	LanePathFor func(namespace string, lane int) fabric.Path
 }
 
 // pathFor resolves the transfer path for a namespace's groups.
@@ -30,6 +35,15 @@ func (s SitePair) pathFor(namespace string) fabric.Path {
 		return s.PathFor(namespace)
 	}
 	return s.Path
+}
+
+// pathForLane resolves the transfer path for one drain lane of a
+// namespace's sharded group.
+func (s SitePair) pathForLane(namespace string, lane int) fabric.Path {
+	if s.LanePathFor != nil {
+		return s.LanePathFor(namespace, lane)
+	}
+	return s.pathFor(namespace)
 }
 
 // ReplicationPlugin reconciles ReplicationGroup custom resources on the
@@ -42,20 +56,22 @@ type ReplicationPlugin struct {
 	cfg   replication.Config
 	ctrl  *platform.Controller
 
-	// groups tracks the running replication groups per CR name. With
-	// ConsistencyGroup=true there is exactly one; otherwise one per volume.
-	groups map[string][]*replication.Group
+	// groups tracks the running replication engines per CR name. With
+	// ConsistencyGroup=true there is exactly one (a Group, or a
+	// ShardedGroup when the spec shards the journal); otherwise one Group
+	// per volume.
+	groups map[string][]replication.Replicator
 	// nsByGroup remembers which namespace each group replicates, so
 	// site-wide operations (failback) can pick that tenant's fabric path.
-	nsByGroup map[*replication.Group]string
+	nsByGroup map[replication.Replicator]string
 }
 
 // NewReplicationPlugin builds the plugin; Start launches its controller.
 func NewReplicationPlugin(env *sim.Env, sites SitePair, cfg replication.Config) *ReplicationPlugin {
 	rp := &ReplicationPlugin{
 		env: env, sites: sites, cfg: cfg,
-		groups:    make(map[string][]*replication.Group),
-		nsByGroup: make(map[*replication.Group]string),
+		groups:    make(map[string][]replication.Replicator),
+		nsByGroup: make(map[replication.Replicator]string),
 	}
 	rp.ctrl = platform.NewController(env, sites.MainAPI, "replication-plugin",
 		platform.KindReplicationGroup, nil, platform.ReconcilerFunc(rp.reconcile),
@@ -70,20 +86,20 @@ func (rp *ReplicationPlugin) Start() { rp.ctrl.Start() }
 // Groups to stop them explicitly).
 func (rp *ReplicationPlugin) Stop() { rp.ctrl.Stop() }
 
-// Groups returns the running replication groups for a CR name.
-func (rp *ReplicationPlugin) Groups(name string) []*replication.Group {
-	out := make([]*replication.Group, len(rp.groups[name]))
+// Groups returns the running replication engines for a CR name.
+func (rp *ReplicationPlugin) Groups(name string) []replication.Replicator {
+	out := make([]replication.Replicator, len(rp.groups[name]))
 	copy(out, rp.groups[name])
 	return out
 }
 
 // NamespaceOf returns the namespace a group replicates (empty for groups
 // this plugin did not create).
-func (rp *ReplicationPlugin) NamespaceOf(g *replication.Group) string { return rp.nsByGroup[g] }
+func (rp *ReplicationPlugin) NamespaceOf(g replication.Replicator) string { return rp.nsByGroup[g] }
 
-// AllGroups returns every running group (for site-wide operations).
-func (rp *ReplicationPlugin) AllGroups() []*replication.Group {
-	var out []*replication.Group
+// AllGroups returns every running engine (for site-wide operations).
+func (rp *ReplicationPlugin) AllGroups() []replication.Replicator {
+	var out []replication.Replicator
 	for _, gs := range rp.groups {
 		out = append(out, gs...)
 	}
@@ -162,6 +178,47 @@ func (rp *ReplicationPlugin) reconcile(p *sim.Proc, key platform.ObjectKey) erro
 		return err
 	}
 
+	var created []replication.Replicator
+	var journalIDs []string
+
+	// Sharded layout: one consistency group whose journal is split across
+	// JournalShards shards, drained by a multi-lane engine with one fabric
+	// path per lane. Single-shard groups keep the plain path below so the
+	// paper's configuration stays byte-for-byte unchanged.
+	if rg.Spec.ConsistencyGroup && rg.Spec.JournalShards > 1 {
+		journalID := fmt.Sprintf("jnl-%s-0", rg.Name)
+		vols := make([]storage.VolumeID, len(members))
+		mapping := make(map[storage.VolumeID]storage.VolumeID, len(members))
+		for i, m := range members {
+			vols[i] = m.volID
+			mapping[m.volID] = m.volID
+		}
+		sj, err := rp.sites.MainArray.CreateShardedConsistencyGroup(journalID, vols, rg.Spec.JournalShards)
+		if errors.Is(err, storage.ErrJournalExists) {
+			sj, err = rp.sites.MainArray.ShardedJournal(journalID)
+		}
+		if err != nil {
+			return err
+		}
+		paths := make([]fabric.Path, sj.ShardCount())
+		for k := range paths {
+			paths[k] = rp.sites.pathForLane(rg.Spec.SourceNamespace, k)
+		}
+		g, err := replication.NewShardedGroup(rp.env, fmt.Sprintf("%s-0", rg.Name), sj,
+			rp.sites.BackupArray, mapping, paths, rp.cfg)
+		if err != nil {
+			return err
+		}
+		if err := g.InitialCopy(p, rp.sites.MainArray); err != nil {
+			return err
+		}
+		g.Start()
+		created = append(created, g)
+		rp.nsByGroup[g] = rg.Spec.SourceNamespace
+		journalIDs = append(journalIDs, journalID)
+		return rp.finishReady(p, key, rg, created, journalIDs)
+	}
+
 	// Journal layout: one shared journal (consistency group) or one per
 	// volume (the collapse-prone configuration E6 measures).
 	var journalSets [][]member
@@ -172,8 +229,6 @@ func (rp *ReplicationPlugin) reconcile(p *sim.Proc, key platform.ObjectKey) erro
 			journalSets = append(journalSets, []member{m})
 		}
 	}
-	var created []*replication.Group
-	var journalIDs []string
 	for i, set := range journalSets {
 		journalID := fmt.Sprintf("jnl-%s-%d", rg.Name, i)
 		vols := make([]storage.VolumeID, len(set))
@@ -205,6 +260,12 @@ func (rp *ReplicationPlugin) reconcile(p *sim.Proc, key platform.ObjectKey) erro
 		rp.nsByGroup[g] = rg.Spec.SourceNamespace
 		journalIDs = append(journalIDs, journalID)
 	}
+	return rp.finishReady(p, key, rg, created, journalIDs)
+}
+
+// finishReady records the configured engines and marks the CR Ready.
+func (rp *ReplicationPlugin) finishReady(p *sim.Proc, key platform.ObjectKey, rg *platform.ReplicationGroup,
+	created []replication.Replicator, journalIDs []string) error {
 	rp.groups[rg.Name] = created
 
 	// Refresh the CR (phase Syncing bumped its version) and mark Ready.
@@ -236,7 +297,12 @@ func (rp *ReplicationPlugin) teardown(p *sim.Proc, name string) error {
 				return err
 			}
 		}
-		if err := rp.sites.MainArray.DeleteJournal(g.Journal().ID()); err != nil && !errors.Is(err, storage.ErrNoSuchJournal) {
+		id := g.JournalID()
+		if _, err := rp.sites.MainArray.ShardedJournal(id); err == nil {
+			if err := rp.sites.MainArray.DeleteShardedJournal(id); err != nil {
+				return err
+			}
+		} else if err := rp.sites.MainArray.DeleteJournal(id); err != nil && !errors.Is(err, storage.ErrNoSuchJournal) {
 			return err
 		}
 	}

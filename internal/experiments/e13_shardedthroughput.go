@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/csiplugin"
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/netlink"
+	"repro/internal/platform"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// E13 scenario scale. One write-heavy tenant with many volumes in a single
+// consistency group, on a deliberately thin multi-link fabric, so the drain
+// — not the array — is the throughput cap. 16 volumes hash evenly onto
+// 2/4/8 shards, so the scaling measured is the lanes', not an artifact of
+// placement skew.
+const (
+	e13Namespace = "shard-bench"
+	e13Volumes   = 16
+	e13Links     = 4 // fabric member links; lanes beyond this share links
+)
+
+// ShardedThroughputResult is one shard count's outcome: how fast the
+// tenant's writes reached the backup site, and whether a mid-run failover
+// still yielded a consistent cross-volume cut.
+type ShardedThroughputResult struct {
+	Shards int
+	Writes int
+
+	// Throughput run: all writes issued, then drained to empty.
+	Bytes          int64         // payload bytes committed at the backup
+	DrainTime      time.Duration // first write -> backup fully caught up
+	ThroughputMBps float64
+	Speedup        float64 // vs the 1-shard row (first row if 1 was not swept)
+	EpochCommits   int64   // consistency cuts declared (sharded engine only)
+
+	// Failover run: the pair is split mid-drain, no catch-up.
+	CutWrites          int  // K: writes present in the recovered image
+	LostWrites         int  // acked writes missing from the image (RPO)
+	FailoverConsistent bool // image is the exact ack-order prefix {1..K}
+}
+
+// E13ShardedThroughput measures per-tenant drain scale-out: one write-heavy
+// tenant whose consistency-group journal is sharded across increasing lane
+// counts over a multi-link inter-site fabric. Each shard count runs twice —
+// once to measure drain throughput, once splitting the pair mid-drain to
+// verify the recovered image is still an exact prefix of the tenant's
+// cross-volume ack order (the epoch-barrier consistency cut). The shape the
+// ROADMAP's sharded-journal item needs: throughput scales with shards until
+// the fabric's member links saturate, and no shard count ever trades away
+// the consistency cut.
+func E13ShardedThroughput(seed int64, shardCounts []int, writes int) ([]ShardedThroughputResult, error) {
+	if writes <= 0 {
+		writes = 4000
+	}
+	var out []ShardedThroughputResult
+	for _, shards := range shardCounts {
+		res := ShardedThroughputResult{Shards: shards, Writes: writes}
+		if err := e13Run(seed, shards, writes, false, &res); err != nil {
+			return out, fmt.Errorf("E13 shards=%d throughput: %w", shards, err)
+		}
+		if err := e13Run(seed, shards, writes, true, &res); err != nil {
+			return out, fmt.Errorf("E13 shards=%d failover: %w", shards, err)
+		}
+		res.ThroughputMBps = float64(res.Bytes) / 1e6 / res.DrainTime.Seconds()
+		out = append(out, res)
+	}
+	// Normalize against the 1-shard row (the first row when no 1-shard
+	// count was swept), guarding the degenerate zero-throughput case.
+	base := out[0].ThroughputMBps
+	for _, r := range out {
+		if r.Shards == 1 {
+			base = r.ThroughputMBps
+			break
+		}
+	}
+	for i := range out {
+		if base > 0 {
+			out[i].Speedup = out[i].ThroughputMBps / base
+		}
+	}
+	return out, nil
+}
+
+// e13Run drives one full-control-plane run: namespace + PVCs provisioned,
+// backup enabled through the operator (which threads JournalShards down to
+// the replication plugin), then the write-heavy load.
+func e13Run(seed int64, shards, writes int, failover bool, res *ShardedThroughputResult) error {
+	// A thin pipe per member: one 64-record batch serializes in ~67ms, so a
+	// single lane is visibly the bottleneck and extra lanes visibly help.
+	member := netlink.Config{Propagation: 2 * time.Millisecond, BandwidthBps: 4e6}
+	links := make([]netlink.Config, e13Links)
+	for i := range links {
+		links[i] = member
+	}
+	sys := core.NewSystem(core.Config{
+		Seed:          seed,
+		Fabric:        fabric.Config{Links: links},
+		JournalShards: shards,
+		VolumeBlocks:  int64(writes/e13Volumes + 2),
+	})
+
+	pvcs := make([]string, e13Volumes)
+	for i := range pvcs {
+		pvcs[i] = fmt.Sprintf("d%02d", i)
+	}
+
+	var runErr error
+	halfway := sys.Env.NewEvent()
+	writerDone := sys.Env.NewEvent()
+	sys.Env.Process("driver", func(p *sim.Proc) {
+		defer writerDone.Trigger()
+		if err := e13Provision(p, sys, pvcs); err != nil {
+			runErr = err
+			return
+		}
+		if err := sys.EnableBackup(p, e13Namespace); err != nil {
+			runErr = err
+			return
+		}
+		groups := sys.Groups(e13Namespace)
+		if len(groups) != 1 {
+			runErr = fmt.Errorf("groups = %d, want 1", len(groups))
+			return
+		}
+		g := groups[0]
+		if shards > 1 {
+			sg, ok := g.(*replication.ShardedGroup)
+			if !ok || sg.Lanes() != shards {
+				runErr = fmt.Errorf("engine %T with %d lanes, want sharded with %d", g, shards, shards)
+				return
+			}
+		}
+
+		vols := make([]*storage.Volume, e13Volumes)
+		for i, name := range pvcs {
+			v, err := sys.Main.Array.Volume(csiplugin.VolumeIDForClaim(e13Namespace, name))
+			if err != nil {
+				runErr = err
+				return
+			}
+			vols[i] = v
+		}
+		buf := make([]byte, sys.Main.Array.Config().BlockSize)
+		start := p.Now()
+		for i := 0; i < writes; i++ {
+			binary.BigEndian.PutUint64(buf, uint64(i+1))
+			if _, err := vols[i%e13Volumes].Write(p, int64(i/e13Volumes), buf); err != nil {
+				runErr = err
+				return
+			}
+			if i == writes/2 {
+				halfway.Trigger()
+			}
+		}
+		if failover {
+			return // the disaster process owns the rest of this run
+		}
+		g.CatchUp(p)
+		res.DrainTime = p.Now() - start
+		res.Bytes = g.AppliedBytes()
+		if sg, ok := g.(*replication.ShardedGroup); ok {
+			res.EpochCommits = sg.EpochCommits()
+		}
+	})
+	if failover {
+		sys.Env.Process("disaster", func(p *sim.Proc) {
+			p.Wait(halfway)
+			p.Sleep(30 * time.Millisecond) // let the drain run mid-backlog
+			groups := sys.Groups(e13Namespace)
+			if len(groups) != 1 {
+				runErr = fmt.Errorf("disaster: groups = %d", len(groups))
+				return
+			}
+			vols, err := groups[0].Failover()
+			if err != nil {
+				runErr = err
+				return
+			}
+			p.Wait(writerDone) // let the writer finish acking into the stranded journal
+			res.CutWrites, res.FailoverConsistent = e13PrefixLen(vols)
+			res.LostWrites = writes - res.CutWrites
+		})
+	}
+	sys.Env.Run(0)
+	// Quiesce before discarding the system so repeated runs (the bench
+	// loop) do not accumulate parked simulation processes.
+	sys.Stop()
+	sys.Env.Run(0)
+	return runErr
+}
+
+// e13Provision creates the tenant namespace and its PVCs and waits for the
+// provisioner to bind every claim.
+func e13Provision(p *sim.Proc, sys *core.System, pvcs []string) error {
+	if err := sys.Main.API.Create(p, &platform.Namespace{
+		Meta: platform.Meta{Kind: platform.KindNamespace, Name: e13Namespace},
+	}); err != nil {
+		return err
+	}
+	for _, name := range pvcs {
+		if err := sys.Main.API.Create(p, &platform.PersistentVolumeClaim{
+			Meta: platform.Meta{Kind: platform.KindPVC, Namespace: e13Namespace, Name: name},
+			Spec: platform.PVCSpec{StorageClassName: core.StorageClassName, SizeBlocks: sys.Cfg.VolumeBlocks},
+		}); err != nil {
+			return err
+		}
+	}
+	deadline := p.Now() + 30*time.Second
+	for _, name := range pvcs {
+		for {
+			obj, err := sys.Main.API.Get(p, platform.ObjectKey{Kind: platform.KindPVC, Namespace: e13Namespace, Name: name})
+			if err == nil && obj.(*platform.PersistentVolumeClaim).Status.Phase == platform.ClaimBound {
+				break
+			}
+			if p.Now() >= deadline {
+				return fmt.Errorf("claim %s never bound", name)
+			}
+			p.Sleep(5 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// e13PrefixLen scans the failed-over volumes for their sequence-stamped
+// blocks and reports the highest K with {1..K} all present — plus whether
+// the image is EXACTLY that prefix (a consistent cross-volume cut: nothing
+// newer leaked past the barrier).
+func e13PrefixLen(vols []*storage.Volume) (int, bool) {
+	present := make(map[uint64]bool)
+	for _, v := range vols {
+		for _, b := range v.WrittenBlocks() {
+			present[binary.BigEndian.Uint64(v.Peek(b))] = true
+		}
+	}
+	k := uint64(0)
+	for present[k+1] {
+		k++
+	}
+	return int(k), len(present) == int(k)
+}
+
+// E13Table renders the E13 results.
+func E13Table(results []ShardedThroughputResult) *metrics.Table {
+	t := metrics.NewTable("E13: sharded consistency-group journals — per-tenant drain throughput vs shard count",
+		"shards", "writes", "drain time", "MB/s", "speedup", "epoch cuts", "failover cut", "lost", "consistent")
+	for _, r := range results {
+		t.AddRow(r.Shards, r.Writes, r.DrainTime, fmt.Sprintf("%.2f", r.ThroughputMBps),
+			fmt.Sprintf("%.2fx", r.Speedup), r.EpochCommits, r.CutWrites, r.LostWrites, r.FailoverConsistent)
+	}
+	t.AddNote("shape: throughput scales with shards until the fabric's %d member links saturate; every failover image is an exact ack-order prefix", e13Links)
+	return t
+}

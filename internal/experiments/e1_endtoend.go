@@ -84,6 +84,8 @@ func E1EndToEnd(seed int64, orders int) (EndToEndResult, error) {
 		res.FailoverIntact = !foRep.Collapsed() && foRep.OrderingOK()
 	})
 	sys.Env.Run(time.Hour)
+	sys.Stop() // quiesce so bench iterations do not accumulate parked procs
+	sys.Env.Run(time.Hour)
 	if runErr != nil {
 		return res, fmt.Errorf("E1: %w", runErr)
 	}

@@ -73,12 +73,11 @@ func E2Operator(seed int64, volumeCounts []int) ([]OperatorResult, error) {
 		}
 		// Sanity: the operator really did configure one CG with n members.
 		groups := sys.Replication.Groups(operator.GroupNameFor("biz"))
-		if len(groups) != 1 || len(groups[0].Journal().Members()) != n {
+		if len(groups) != 1 || len(groups[0].Members()) != n {
 			return nil, fmt.Errorf("E2 n=%d: configured %d groups", n, len(groups))
 		}
-		for _, g := range groups {
-			g.Stop()
-		}
+		sys.Stop() // quiesce so bench iterations do not accumulate parked procs
+		sys.Env.Run(time.Hour)
 		out = append(out, res)
 	}
 	return out, nil

@@ -103,9 +103,7 @@ func E4Analytics(seed int64, orders int) ([]AnalyticsResult, error) {
 			res.OrderMean = bp.Shop.Latency.Mean()
 		})
 		sys.Env.Run(time.Hour)
-		for _, g := range sys.Groups("shop") {
-			g.Stop()
-		}
+		sys.Stop() // quiesce so bench iterations do not accumulate parked procs
 		sys.Env.Run(time.Hour + time.Second)
 		return res, runErr
 	}

@@ -346,6 +346,43 @@ func TestE12InterferenceOrderingAndFailover(t *testing.T) {
 	t.Log("\n" + E12Table(results).String())
 }
 
+func TestE13ShardedThroughputScalesAndCutsHold(t *testing.T) {
+	counts := []int{1, 2, 4}
+	results, err := E13ShardedThroughput(1, counts, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(counts) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		// The mid-run failover must land mid-drain (some committed, some
+		// lost) and the image must be an exact ack-order prefix at EVERY
+		// shard count — the epoch barrier's whole point.
+		if !r.FailoverConsistent {
+			t.Errorf("shards=%d: failover image not an exact prefix (cut=%d lost=%d)", r.Shards, r.CutWrites, r.LostWrites)
+		}
+		if r.CutWrites == 0 || r.LostWrites == 0 {
+			t.Errorf("shards=%d: failover scenario degenerate (cut=%d lost=%d)", r.Shards, r.CutWrites, r.LostWrites)
+		}
+		if r.Shards > 1 && r.EpochCommits == 0 {
+			t.Errorf("shards=%d: no epoch cuts declared", r.Shards)
+		}
+		if r.Shards == 1 && r.EpochCommits != 0 {
+			t.Errorf("shards=1 ran the sharded engine (passthrough broken)")
+		}
+	}
+	// Who wins: drain throughput grows with lane count, >= 2x at 4 shards.
+	if results[1].ThroughputMBps <= results[0].ThroughputMBps {
+		t.Errorf("2 shards (%.2f MB/s) not faster than 1 (%.2f MB/s)",
+			results[1].ThroughputMBps, results[0].ThroughputMBps)
+	}
+	if results[2].Speedup < 2 {
+		t.Errorf("4-shard speedup = %.2fx, want >= 2x", results[2].Speedup)
+	}
+	t.Log("\n" + E13Table(results).String())
+}
+
 func TestE11FleetAllTenantsConsistentAfterMixedRun(t *testing.T) {
 	res, err := E11FleetScale(3, 24, 6)
 	if err != nil {

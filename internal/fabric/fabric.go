@@ -279,6 +279,12 @@ type Interconnect struct {
 	Reverse *Fabric
 }
 
+// Stop quiesces both directions' dispatchers.
+func (ic *Interconnect) Stop() {
+	ic.Forward.Stop()
+	ic.Reverse.Stop()
+}
+
 // NewInterconnect builds both directions over pre-built member links (one
 // forward and one reverse link per member). Both directions share the same
 // class/scheduling configuration.

@@ -46,6 +46,10 @@ type Config struct {
 	// classes themselves via System.Fabric.Classes). nil leaves every
 	// tenant on the default class — the pre-fabric single-queue behavior.
 	ClassOf func(tenant int) string
+	// JournalShards, when > 1, shards every tenant's consistency-group
+	// journal across that many drain lanes (overrides System.JournalShards).
+	// 0 leaves System.JournalShards as configured.
+	JournalShards int
 	// System configures the shared two-site system (including the
 	// inter-site fabric's member links and QoS classes).
 	System core.Config
@@ -121,6 +125,9 @@ func New(cfg Config) *Fleet {
 		}
 		cfg.System.PathClass = func(ns string) string { return classByNS[ns] }
 	}
+	if cfg.JournalShards > 0 {
+		cfg.System.JournalShards = cfg.JournalShards
+	}
 	f := &Fleet{Sys: core.NewSystem(cfg.System), Cfg: cfg}
 	nFail := max(1, int(float64(cfg.Tenants)*cfg.FailoverFraction))
 	nAna := max(1, int(float64(cfg.Tenants)*cfg.AnalyticsFraction))
@@ -151,11 +158,31 @@ func (f *Fleet) Run() error {
 		})
 	}
 	f.Sys.Env.Run(f.Cfg.Horizon)
+	if f.Sys.Env.Idle() {
+		// Completed run: quiesce controllers, drains, and dispatchers so a
+		// discarded fleet leaves no parked simulation goroutines behind
+		// (bench iterations would otherwise accumulate them). A run cut off
+		// by the horizon skips this — its pending events would replay.
+		f.Sys.Stop()
+		f.Sys.Env.Run(0)
+	}
 	for _, t := range f.Tenants {
 		if tp := f.Sys.TenantPath(t.Namespace); tp != nil {
 			t.FabricBytes = tp.Bytes()
 			t.FabricQueueDelay = tp.MeanQueueDelay()
 			t.FabricDrops = tp.DropRetries()
+		}
+		// Sharded tenants drain over per-lane paths instead; aggregate them
+		// (bytes and drops sum, queue delay reports the worst lane mean).
+		for _, lp := range f.Sys.TenantLanePaths(t.Namespace) {
+			if lp == nil {
+				continue
+			}
+			t.FabricBytes += lp.Bytes()
+			t.FabricDrops += lp.DropRetries()
+			if d := lp.MeanQueueDelay(); d > t.FabricQueueDelay {
+				t.FabricQueueDelay = d
+			}
 		}
 		if t.Err != nil {
 			return fmt.Errorf("fleet: %s: %w", t.Namespace, t.Err)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/netlink"
+	"repro/internal/replication"
 )
 
 func testConfig(tenants, orders int) Config {
@@ -156,5 +157,33 @@ func TestFleetDeterministicAcrossRuns(t *testing.T) {
 	o2, t2 := run()
 	if o1 != o2 || t1 != t2 {
 		t.Fatalf("nondeterministic: (%d,%v) vs (%d,%v)", o1, t1, o2, t2)
+	}
+}
+
+// TestFleetShardedJournals runs the mixed workload with every tenant's
+// consistency-group journal sharded across two drain lanes: the
+// JournalShards knob threads fleet -> core -> operator -> replication
+// plugin, every tenant's image stays a consistent cut (the epoch barrier at
+// DB granularity), and the per-lane fabric counters surface on the tenants.
+func TestFleetShardedJournals(t *testing.T) {
+	cfg := testConfig(8, 6)
+	cfg.JournalShards = 2
+	f := New(cfg)
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tot := f.Totals()
+	if tot.Verified != 8 || tot.Collapsed != 0 {
+		t.Fatalf("verdicts: %+v", tot)
+	}
+	if tot.FabricBytes == 0 {
+		t.Fatal("no lane-path bytes counted — sharded drains not on fabric paths")
+	}
+	for _, tn := range f.Tenants {
+		for _, g := range f.Sys.Groups(tn.Namespace) {
+			if _, ok := g.(*replication.ShardedGroup); !ok {
+				t.Fatalf("%s engine is %T, want sharded", tn.Namespace, g)
+			}
+		}
 	}
 }

@@ -34,6 +34,10 @@ type Config struct {
 	// shared journal. The production operator always does; experiment E6
 	// turns it off to demonstrate collapse.
 	ConsistencyGroup bool
+	// JournalShards is threaded into created ReplicationGroups: > 1 shards
+	// each group's journal across that many drain lanes (E13); 0 or 1
+	// keeps the single shared journal.
+	JournalShards int
 }
 
 // Operator is the namespace operator.
@@ -128,6 +132,7 @@ func (o *Operator) reconcile(p *sim.Proc, key platform.ObjectKey) error {
 			SourceNamespace:  ns.Name,
 			PVCNames:         pvcNames,
 			ConsistencyGroup: o.cfg.ConsistencyGroup,
+			JournalShards:    o.cfg.JournalShards,
 		},
 		Status: platform.ReplicationGroupStatus{Phase: platform.GroupPending},
 	}

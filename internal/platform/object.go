@@ -211,6 +211,11 @@ type ReplicationGroupSpec struct {
 	// ConsistencyGroup selects the shared-journal mode; false degrades to
 	// one journal per volume (the E6 ablation).
 	ConsistencyGroup bool
+	// JournalShards, when > 1, shards the consistency group's journal so
+	// the replication plugin drains it on that many lanes (one per shard,
+	// with epoch barriers preserving cross-volume cuts). 0 or 1 keeps the
+	// single shared journal. Ignored unless ConsistencyGroup is true.
+	JournalShards int
 }
 
 // ReplicationGroupStatus is filled by the replication plugin.

@@ -1,0 +1,56 @@
+package replication
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Replicator is the control-plane-facing surface of an ADC engine. Two
+// implementations exist: Group drains one shared journal on one lane (the
+// paper's configuration), ShardedGroup drains a sharded journal on one lane
+// per shard with epoch barriers for cross-shard ordering. The replication
+// plugin, core, and fleet operate on this interface so a consistency group
+// can switch engines via the JournalShards knob without touching callers.
+type Replicator interface {
+	Name() string
+	Start()
+	Stop()
+	Stopped() bool
+
+	// InitialCopy bulk-copies every written source block to the target.
+	InitialCopy(p *sim.Proc, source *storage.Array) error
+	// CatchUp blocks until every journaled record is applied (or the
+	// engine stops), reporting whether it fully caught up.
+	CatchUp(p *sim.Proc) bool
+
+	RPO(now time.Duration) time.Duration
+	Backlog() int
+	AppliedRecords() int64
+	AppliedBytes() int64
+	ApplyLog() []storage.Record
+	UnappliedRecords() []storage.Record
+
+	// Members returns the consistency group's volumes in attach order.
+	Members() []storage.VolumeID
+	Mapping() map[storage.VolumeID]storage.VolumeID
+	// JournalID names the source journal (the group journal for sharded
+	// engines; its shards carry derived IDs).
+	JournalID() string
+
+	Failover() ([]*storage.Volume, error)
+	FailedOver() bool
+}
+
+var (
+	_ Replicator = (*Group)(nil)
+	_ Replicator = (*ShardedGroup)(nil)
+)
+
+// Members returns the journal's member volumes (the consistency-group
+// membership), in attach order.
+func (g *Group) Members() []storage.VolumeID { return g.journal.Members() }
+
+// JournalID returns the source journal's identifier.
+func (g *Group) JournalID() string { return g.journal.ID() }

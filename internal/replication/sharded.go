@@ -1,0 +1,474 @@
+package replication
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// ShardedGroup replicates one sharded consistency-group journal to target
+// volumes over multiple drain lanes — one per journal shard, each lane on
+// its own fabric path, so a single tenant's drain throughput scales with
+// shard count instead of being capped by one lane.
+//
+// Correctness protocol (the cross-shard ordering barrier):
+//
+//  1. every record carries the group epoch open at ack time; sealing an
+//     epoch is atomic, so "all records with epoch <= E" is an exact prefix
+//     of the group's cross-volume ack order;
+//  2. lanes transfer records lane-locally and STAGE them at the target —
+//     staged records are not yet part of the backup image;
+//  3. a coordinator seals epochs whenever there is backlog and, once every
+//     lane has staged its share of the sealed epoch (the barrier), commits
+//     the whole epoch: the target applies the delta set and exposes it
+//     atomically. The backup image therefore always sits exactly on an
+//     epoch boundary = a consistent cross-volume cut, no matter when a
+//     disaster splits the pair.
+//
+// Within an epoch, cross-shard apply order is relaxed (that is the point —
+// lanes run concurrently); per volume, order is exact because placement
+// pins each volume to one shard.
+type ShardedGroup struct {
+	env     *sim.Env
+	name    string
+	journal *storage.ShardedJournal
+	target  *storage.Array
+	mapping map[storage.VolumeID]storage.VolumeID
+	cfg     Config
+
+	lanes []*drainLane
+
+	stopEv     *sim.Event
+	stopped    bool
+	failedOver bool
+	started    bool
+	progress   *sim.Event // pulsed by lanes as they stage; the barrier wait
+	committed  *sim.Event // pulsed per epoch commit; CatchUp waits on it
+
+	committedEpoch   int64
+	epochCommits     int64
+	appliedRecords   int64
+	appliedBytes     int64
+	lastCommittedAck time.Duration
+	applyLog         []storage.Record // committed at target, for verification
+	lost             []storage.Record // abandoned mid-transfer by Stop
+}
+
+// drainLane is one shard's drain state. Each lane owns its batch scratch
+// and staging buffer — nothing is shared across lanes, so concurrent lanes
+// never alias each other's records.
+type drainLane struct {
+	idx     int
+	journal *storage.Journal
+	path    fabric.Path
+
+	batch  []storage.Record // drain scratch, reused across batches
+	staged []storage.Record // transferred, awaiting an epoch commit
+
+	inflight      int           // records mid-transfer on the lane path
+	inflightEpoch int64         // epoch of the first in-flight record
+	inflightAck   time.Duration // ack time of the first in-flight record
+}
+
+// NewShardedGroup wires a sharded source journal to target volumes. paths
+// carries one fabric path per shard (lane k drains shard k over paths[k]);
+// mapping follows the same contract as NewGroup.
+func NewShardedGroup(env *sim.Env, name string, journal *storage.ShardedJournal, target *storage.Array,
+	mapping map[storage.VolumeID]storage.VolumeID, paths []fabric.Path, cfg Config) (*ShardedGroup, error) {
+	if len(paths) != journal.ShardCount() {
+		return nil, fmt.Errorf("replication: %s: %d paths for %d shards", name, len(paths), journal.ShardCount())
+	}
+	for _, src := range journal.Members() {
+		dst, ok := mapping[src]
+		if !ok {
+			return nil, fmt.Errorf("replication: journal member %s has no target mapping", src)
+		}
+		if _, err := target.Volume(dst); err != nil {
+			return nil, fmt.Errorf("replication: target for %s: %w", src, err)
+		}
+	}
+	m := make(map[storage.VolumeID]storage.VolumeID, len(mapping))
+	for k, v := range mapping {
+		m[k] = v
+	}
+	g := &ShardedGroup{
+		env:       env,
+		name:      name,
+		journal:   journal,
+		target:    target,
+		mapping:   m,
+		cfg:       cfg.withDefaults(),
+		stopEv:    env.NewEvent(),
+		progress:  env.NewEvent(),
+		committed: env.NewEvent(),
+	}
+	for i, shard := range journal.Shards() {
+		g.lanes = append(g.lanes, &drainLane{idx: i, journal: shard, path: paths[i]})
+	}
+	return g, nil
+}
+
+// Name returns the group name.
+func (g *ShardedGroup) Name() string { return g.name }
+
+// Journal returns the source sharded journal being drained.
+func (g *ShardedGroup) Journal() *storage.ShardedJournal { return g.journal }
+
+// JournalID returns the group journal's identifier.
+func (g *ShardedGroup) JournalID() string { return g.journal.ID() }
+
+// Members returns the consistency group's volumes in attach order.
+func (g *ShardedGroup) Members() []storage.VolumeID { return g.journal.Members() }
+
+// Lanes returns the number of drain lanes (= journal shards).
+func (g *ShardedGroup) Lanes() int { return len(g.lanes) }
+
+// InitialCopy performs the ADC initialization bulk copy: every written
+// block of every source volume is transferred — over the volume's own lane
+// path — and applied to its target.
+func (g *ShardedGroup) InitialCopy(p *sim.Proc, source *storage.Array) error {
+	for _, src := range g.journal.Members() {
+		sv, err := source.Volume(src)
+		if err != nil {
+			return err
+		}
+		tv, err := g.target.Volume(g.mapping[src])
+		if err != nil {
+			return err
+		}
+		path := g.lanes[g.journal.ShardIndexOf(src)].path
+		for _, b := range sv.WrittenBlocks() {
+			data := sv.Peek(b)
+			path.Transfer(p, len(data)+64)
+			if err := tv.Apply(p, b, data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Start launches one drain process per lane plus the epoch coordinator.
+func (g *ShardedGroup) Start() {
+	if g.started {
+		return
+	}
+	g.started = true
+	for _, l := range g.lanes {
+		l := l
+		g.env.Process(fmt.Sprintf("adc-lane:%s:s%d", g.name, l.idx), func(p *sim.Proc) { g.drainLane(p, l) })
+	}
+	g.env.Process("adc-epoch:"+g.name, g.coordinate)
+}
+
+// Stop halts the lanes and the coordinator. Staged records that never made
+// it into a committed epoch are lost at the split, exactly like a plain
+// group's in-flight batch.
+func (g *ShardedGroup) Stop() {
+	if g.stopped {
+		return
+	}
+	g.stopped = true
+	g.stopEv.Trigger()
+}
+
+// Stopped reports whether Stop was called.
+func (g *ShardedGroup) Stopped() bool { return g.stopped }
+
+// drainLane moves one shard's records across the lane's path and stages
+// them for the next epoch commit.
+func (g *ShardedGroup) drainLane(p *sim.Proc, l *drainLane) {
+	for {
+		recs := l.journal.TryTakeInto(l.batch, g.cfg.BatchMax)
+		if recs != nil {
+			l.batch = recs
+		}
+		if recs == nil {
+			g.pulseProgress()
+			if p.WaitAny(l.journal.NotEmpty(), g.stopEv) == 1 {
+				return
+			}
+			if g.stopped {
+				return
+			}
+			continue
+		}
+		var batchBytes int
+		for _, r := range recs {
+			batchBytes += r.SizeBytes()
+		}
+		l.inflight = len(recs)
+		l.inflightEpoch = recs[0].Epoch
+		l.inflightAck = recs[0].AckedAt
+		l.path.Transfer(p, batchBytes)
+		if g.stopped {
+			// Split mid-transfer: the batch never reaches a committed
+			// epoch — lost, exactly as a disaster leaves it.
+			g.lost = append(g.lost, recs...)
+			l.inflight = 0
+			return
+		}
+		l.staged = append(l.staged, recs...)
+		l.inflight = 0
+		g.pulseProgress()
+	}
+}
+
+// stagedThrough returns the highest epoch the lane has fully staged: no
+// pending or in-flight record of that epoch (or older) remains. An idle
+// empty lane has staged everything appended so far.
+func (g *ShardedGroup) stagedThrough(l *drainLane) int64 {
+	through := g.journal.Epoch()
+	if e, ok := l.journal.OldestPendingEpoch(); ok && e-1 < through {
+		through = e - 1
+	}
+	if l.inflight > 0 && l.inflightEpoch-1 < through {
+		through = l.inflightEpoch - 1
+	}
+	return through
+}
+
+func (g *ShardedGroup) allStagedThrough(epoch int64) bool {
+	for _, l := range g.lanes {
+		if g.stagedThrough(l) < epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// coordinate runs the epoch cycle: seal whenever there is backlog, wait for
+// every lane to stage its share of the sealed epoch (the barrier), commit
+// the epoch atomically at the target, repeat.
+func (g *ShardedGroup) coordinate(p *sim.Proc) {
+	for {
+		if g.stopped {
+			return
+		}
+		if g.backlogRecords() == 0 {
+			evs := make([]*sim.Event, 0, len(g.lanes)+1)
+			for _, l := range g.lanes {
+				evs = append(evs, l.journal.NotEmpty())
+			}
+			evs = append(evs, g.stopEv)
+			if p.WaitAny(evs...) == len(evs)-1 {
+				return
+			}
+			if g.stopped {
+				return
+			}
+			continue
+		}
+		sealed := g.journal.SealEpoch()
+		for !g.allStagedThrough(sealed) {
+			if p.WaitAny(g.progressEv(), g.stopEv) == 1 {
+				return
+			}
+			if g.stopped {
+				return
+			}
+		}
+		g.commitEpoch(p, sealed)
+	}
+}
+
+// commitEpoch applies every staged record of epochs <= sealed to the target
+// and exposes them atomically. The backup array works through the delta set
+// with its controller parallelism, then installs the cut in one instant —
+// which is why a failover can never observe a half-applied epoch.
+func (g *ShardedGroup) commitEpoch(p *sim.Proc, sealed int64) {
+	var count int
+	var bytes int64
+	for _, l := range g.lanes {
+		for _, r := range l.staged {
+			if r.Epoch > sealed {
+				break
+			}
+			count++
+			bytes += int64(len(r.Data))
+		}
+	}
+	if count == 0 {
+		return
+	}
+	g.target.ApplyDeltaSet(p, count)
+	if g.stopped {
+		// Split mid-commit: the epoch never becomes visible; its staged
+		// records are part of UnappliedRecords.
+		return
+	}
+	for _, l := range g.lanes {
+		n := 0
+		for _, r := range l.staged {
+			if r.Epoch > sealed {
+				break
+			}
+			tv, err := g.target.Volume(g.mapping[r.Volume])
+			if err != nil {
+				panic(fmt.Sprintf("replication %s: target vanished: %v", g.name, err))
+			}
+			if err := tv.InstallDelta(r.Block, r.Data); err != nil {
+				panic(fmt.Sprintf("replication %s: commit: %v", g.name, err))
+			}
+			if r.AckedAt > g.lastCommittedAck {
+				g.lastCommittedAck = r.AckedAt
+			}
+			g.applyLog = append(g.applyLog, r)
+			n++
+		}
+		rest := copy(l.staged, l.staged[n:])
+		for i := rest; i < len(l.staged); i++ {
+			l.staged[i] = storage.Record{}
+		}
+		l.staged = l.staged[:rest]
+	}
+	g.appliedRecords += int64(count)
+	g.appliedBytes += bytes
+	g.committedEpoch = sealed
+	g.epochCommits++
+	if !g.committed.Triggered() {
+		g.committed.Trigger()
+	}
+}
+
+func (g *ShardedGroup) pulseProgress() {
+	if !g.progress.Triggered() {
+		g.progress.Trigger()
+	}
+}
+
+func (g *ShardedGroup) progressEv() *sim.Event {
+	if g.progress.Triggered() {
+		g.progress = g.env.NewEvent()
+	}
+	return g.progress
+}
+
+func (g *ShardedGroup) committedEv() *sim.Event {
+	if g.committed.Triggered() {
+		g.committed = g.env.NewEvent()
+	}
+	return g.committed
+}
+
+// backlogRecords counts every record not yet committed at the target:
+// journal pending, in flight on a lane path, or staged awaiting a commit.
+func (g *ShardedGroup) backlogRecords() int {
+	var n int
+	for _, l := range g.lanes {
+		n += l.journal.Pending() + l.inflight + len(l.staged)
+	}
+	return n
+}
+
+// CatchUp blocks until every journaled record is committed at the target,
+// or the group stops. It reports whether the group fully caught up.
+func (g *ShardedGroup) CatchUp(p *sim.Proc) bool {
+	for g.backlogRecords() > 0 {
+		if g.stopped {
+			return false
+		}
+		if p.WaitAny(g.committedEv(), g.stopEv) == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// RPO returns how far the committed backup image lags the newest main-site
+// ack at virtual time now. Zero when fully caught up.
+func (g *ShardedGroup) RPO(now time.Duration) time.Duration {
+	var oldest time.Duration
+	found := false
+	note := func(t time.Duration) {
+		if !found || t < oldest {
+			oldest, found = t, true
+		}
+	}
+	for _, l := range g.lanes {
+		if t, ok := l.journal.OldestPendingAck(); ok {
+			note(t)
+		}
+		if len(l.staged) > 0 {
+			note(l.staged[0].AckedAt)
+		}
+		if l.inflight > 0 {
+			note(l.inflightAck)
+		}
+	}
+	if !found {
+		return 0
+	}
+	return now - oldest
+}
+
+// Backlog returns the number of records not yet committed at the target.
+func (g *ShardedGroup) Backlog() int { return g.backlogRecords() }
+
+// CommittedEpoch returns the highest epoch exposed at the target.
+func (g *ShardedGroup) CommittedEpoch() int64 { return g.committedEpoch }
+
+// EpochCommits returns how many consistency cuts the coordinator declared.
+func (g *ShardedGroup) EpochCommits() int64 { return g.epochCommits }
+
+// AppliedRecords returns the lifetime count of committed records.
+func (g *ShardedGroup) AppliedRecords() int64 { return g.appliedRecords }
+
+// AppliedBytes returns the lifetime payload bytes committed.
+func (g *ShardedGroup) AppliedBytes() int64 { return g.appliedBytes }
+
+// ApplyLog returns the records committed at the target in commit order:
+// epoch by epoch, lane by lane within an epoch, shard-sequence order within
+// a lane. The consistency verifier reads it; callers must not mutate it.
+func (g *ShardedGroup) ApplyLog() []storage.Record { return g.applyLog }
+
+// UnappliedRecords returns every record acknowledged at the source but not
+// part of a committed epoch: journal backlogs, staged-but-uncommitted
+// records, and batches abandoned mid-transfer at a split.
+func (g *ShardedGroup) UnappliedRecords() []storage.Record {
+	out := append([]storage.Record(nil), g.lost...)
+	for _, l := range g.lanes {
+		out = append(out, l.staged...)
+		out = append(out, l.journal.PendingRecords()...)
+	}
+	return out
+}
+
+// Mapping returns a copy of the source→target volume mapping.
+func (g *ShardedGroup) Mapping() map[storage.VolumeID]storage.VolumeID {
+	m := make(map[storage.VolumeID]storage.VolumeID, len(g.mapping))
+	for k, v := range g.mapping {
+		m[k] = v
+	}
+	return m
+}
+
+// Failover stops replication and makes every target volume writable,
+// returning the volumes in journal-member order. The recovered image is the
+// last committed epoch — always a consistent cross-volume cut.
+func (g *ShardedGroup) Failover() ([]*storage.Volume, error) {
+	g.Stop()
+	g.failedOver = true
+	var vols []*storage.Volume
+	for _, src := range g.journal.Members() {
+		tv, err := g.target.Volume(g.mapping[src])
+		if err != nil {
+			return nil, err
+		}
+		tv.SetReadOnly(false)
+		tv.StartChangeTracking()
+		vols = append(vols, tv)
+	}
+	return vols, nil
+}
+
+// FailedOver reports whether Failover ran.
+func (g *ShardedGroup) FailedOver() bool { return g.failedOver }
+
+func (g *ShardedGroup) String() string {
+	return fmt.Sprintf("ShardedADCGroup(%s){lanes=%d epoch=%d committed=%d backlog=%d}",
+		g.name, len(g.lanes), g.journal.Epoch(), g.committedEpoch, g.backlogRecords())
+}

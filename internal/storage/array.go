@@ -82,6 +82,7 @@ type Array struct {
 	controller *sim.Resource
 	volumes    map[VolumeID]*Volume
 	journals   map[string]*Journal
+	sharded    map[string]*ShardedJournal
 	snapshots  map[string]*Snapshot
 	groups     map[string]*SnapshotGroup
 	globalSeq  int64 // global ack counter across all volumes
@@ -101,6 +102,7 @@ func NewArray(env *sim.Env, name string, cfg Config) *Array {
 		controller: env.NewResource(cfg.Parallelism),
 		volumes:    make(map[VolumeID]*Volume),
 		journals:   make(map[string]*Journal),
+		sharded:    make(map[string]*ShardedJournal),
 		snapshots:  make(map[string]*Snapshot),
 		groups:     make(map[string]*SnapshotGroup),
 	}
@@ -273,6 +275,25 @@ func (a *Array) CreateConsistencyGroup(journalID string, vols []VolumeID) (*Jour
 		}
 	}
 	return j, nil
+}
+
+// ApplyDeltaSet consumes the service time of applying an n-block
+// replication delta set: the blocks pipeline across the controller's
+// parallelism, and one controller slot is held for the span so concurrent
+// work on this array observes the load. The caller installs the blocks
+// afterwards (atomically, via Volume.InstallDelta) — see the sharded
+// replication engine's epoch commit.
+func (a *Array) ApplyDeltaSet(p *sim.Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	a.controller.Acquire(p)
+	d := time.Duration(n) * a.cfg.WriteLatency / time.Duration(a.cfg.Parallelism)
+	if d < a.cfg.WriteLatency {
+		d = a.cfg.WriteLatency
+	}
+	p.Sleep(d)
+	a.controller.Release()
 }
 
 // nextGlobalSeq stamps one write ack in the array-wide order.

@@ -9,10 +9,14 @@ import (
 
 // Record is one update log entry in a journal volume: which block of which
 // volume was written, the data, and where the write fell in the journal's
-// ack order (Seq) and the array-wide ack order (GlobalSeq).
+// ack order (Seq) and the array-wide ack order (GlobalSeq). Records written
+// through a sharded consistency-group journal additionally carry the group
+// Epoch open at ack time — the cross-shard ordering barrier the multi-lane
+// drain commits on. Plain journals leave Epoch zero.
 type Record struct {
 	Seq       int64
 	GlobalSeq int64
+	Epoch     int64
 	Volume    VolumeID
 	Block     int64
 	Data      []byte
@@ -47,6 +51,11 @@ type Journal struct {
 	capacityBytes int
 	overflowed    bool
 	overflows     int64
+
+	// group is non-nil when this journal is one shard of a sharded
+	// consistency-group journal: appends are stamped with the group epoch,
+	// and an overflow fails the whole group closed, not just this shard.
+	group *ShardedJournal
 }
 
 func newJournal(env *sim.Env, a *Array, id string, capacityBytes int) *Journal {
@@ -85,8 +94,18 @@ func (j *Journal) ClearOverflow() {
 }
 
 // overflow suspends the pair: journaling stops and member volumes begin
-// change tracking so a later resync can copy exactly the delta.
+// change tracking so a later resync can copy exactly the delta. A shard of a
+// sharded group escalates to the whole group — a partially-journaling group
+// could not replay a consistent cross-shard cut, so it fails closed.
 func (j *Journal) overflow() {
+	if j.group != nil {
+		j.group.overflow()
+		return
+	}
+	j.overflowLocal()
+}
+
+func (j *Journal) overflowLocal() {
 	j.overflowed = true
 	j.overflows++
 	for _, id := range j.members {
@@ -99,9 +118,14 @@ func (j *Journal) overflow() {
 // append adds a record in ack order and returns its sequence number.
 func (j *Journal) append(vol VolumeID, block int64, data []byte, globalSeq int64, now time.Duration) int64 {
 	j.nextSeq++
+	var epoch int64
+	if j.group != nil {
+		epoch = j.group.epoch
+	}
 	j.pending = append(j.pending, Record{
 		Seq:       j.nextSeq,
 		GlobalSeq: globalSeq,
+		Epoch:     epoch,
 		Volume:    vol,
 		Block:     block,
 		Data:      data,
@@ -131,6 +155,16 @@ func (j *Journal) OldestPendingAck() (time.Duration, bool) {
 		return 0, false
 	}
 	return j.pending[0].AckedAt, true
+}
+
+// OldestPendingEpoch returns the epoch of the oldest undrained record and
+// whether one exists. Epochs in a journal are non-decreasing, so the
+// multi-lane drain reads this as "every record of epochs < e is drained".
+func (j *Journal) OldestPendingEpoch() (int64, bool) {
+	if len(j.pending) == 0 {
+		return 0, false
+	}
+	return j.pending[0].Epoch, true
 }
 
 // PendingRecords returns a copy of the undrained records in sequence

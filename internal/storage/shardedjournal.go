@@ -1,0 +1,253 @@
+package storage
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/sim"
+)
+
+// ShardedJournal is a consistency-group journal split across N shard
+// journals so the replication engine can drain the group on N independent
+// lanes. The pieces of the ordering contract:
+//
+//   - placement: every volume is pinned to one shard by a stable hash of
+//     its ID (ShardFor), so all writes to a volume share one shard and the
+//     per-volume write order is a per-shard sequence order;
+//   - per-shard sequence: each shard is a real Journal with its own Seq;
+//   - group epoch: every record is stamped with the epoch open at ack time.
+//     SealEpoch atomically closes the epoch, so "all records with epoch <= E"
+//     is an exact prefix of the group's cross-volume ack order. The
+//     multi-lane drain commits whole epochs at the target — its cross-shard
+//     ordering barrier — which is what keeps consistency cuts correct even
+//     though lanes drain concurrently.
+//
+// A sharded journal with one shard degenerates to a plain consistency group
+// (one lane, one sequence), but the control plane keeps using Journal
+// directly for that case so the single-journal path stays byte-for-byte
+// unchanged.
+type ShardedJournal struct {
+	env     *sim.Env
+	array   *Array
+	id      string
+	shards  []*Journal
+	byVol   map[VolumeID]int // volume -> shard index
+	members []VolumeID       // attach order
+	epoch   int64            // current open epoch (starts at 1)
+
+	overflowed bool
+	overflows  int64
+}
+
+// ShardFor places a volume on one of shards journal shards. The placement
+// is a stable hash (FNV-1a) of the volume ID alone — never attach order or
+// map iteration — so identically-configured groups place volumes
+// identically, run after run.
+func ShardFor(id VolumeID, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int(h.Sum64() % uint64(shards))
+}
+
+// shardJournalID names one shard's backing journal volume.
+func shardJournalID(id string, shard int) string { return fmt.Sprintf("%s#s%d", id, shard) }
+
+// CreateShardedConsistencyGroup provisions a consistency group whose
+// journal is split across shards unbounded shard journals and attaches
+// every listed volume to its hash-placed shard.
+func (a *Array) CreateShardedConsistencyGroup(id string, vols []VolumeID, shards int) (*ShardedJournal, error) {
+	return a.CreateShardedConsistencyGroupSized(id, vols, shards, 0)
+}
+
+// CreateShardedConsistencyGroupSized is CreateShardedConsistencyGroup with
+// a per-shard capacity in bytes (0 = unlimited). When any shard's backlog
+// would exceed its capacity the WHOLE group overflows — all shards suspend
+// and every member volume starts change tracking — because a group with
+// some shards journaling and some not could never replay a consistent
+// cross-shard cut.
+func (a *Array) CreateShardedConsistencyGroupSized(id string, vols []VolumeID, shards int, capacityPerShard int) (*ShardedJournal, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("storage: sharded journal %s: shards must be >= 1", id)
+	}
+	if _, ok := a.sharded[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrJournalExists, id)
+	}
+	for k := 0; k < shards; k++ {
+		if _, ok := a.journals[shardJournalID(id, k)]; ok {
+			return nil, fmt.Errorf("%w: %s", ErrJournalExists, shardJournalID(id, k))
+		}
+	}
+	sj := &ShardedJournal{
+		env:   a.env,
+		array: a,
+		id:    id,
+		byVol: make(map[VolumeID]int, len(vols)),
+		epoch: 1,
+	}
+	for k := 0; k < shards; k++ {
+		j := newJournal(a.env, a, shardJournalID(id, k), capacityPerShard)
+		j.group = sj
+		a.journals[j.id] = j
+		sj.shards = append(sj.shards, j)
+	}
+	rollback := func() {
+		for _, v := range sj.members {
+			_ = a.DetachJournal(v)
+		}
+		for _, j := range sj.shards {
+			delete(a.journals, j.id)
+		}
+	}
+	for _, v := range vols {
+		k := ShardFor(v, shards)
+		if err := a.AttachJournal(v, shardJournalID(id, k)); err != nil {
+			rollback()
+			return nil, err
+		}
+		sj.byVol[v] = k
+		sj.members = append(sj.members, v)
+	}
+	a.sharded[id] = sj
+	return sj, nil
+}
+
+// ShardedJournal returns the sharded journal with the given ID.
+func (a *Array) ShardedJournal(id string) (*ShardedJournal, error) {
+	sj, ok := a.sharded[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchJournal, id)
+	}
+	return sj, nil
+}
+
+// DeleteShardedJournal detaches every member volume and removes the group's
+// shard journals.
+func (a *Array) DeleteShardedJournal(id string) error {
+	sj, ok := a.sharded[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchJournal, id)
+	}
+	for _, j := range sj.shards {
+		if err := a.DeleteJournal(j.id); err != nil {
+			return err
+		}
+	}
+	delete(a.sharded, id)
+	return nil
+}
+
+// ID returns the group journal identifier.
+func (sj *ShardedJournal) ID() string { return sj.id }
+
+// Shards returns the shard journals in shard-index order. The replication
+// engine runs one drain lane per entry.
+func (sj *ShardedJournal) Shards() []*Journal {
+	out := make([]*Journal, len(sj.shards))
+	copy(out, sj.shards)
+	return out
+}
+
+// ShardCount returns the number of shards.
+func (sj *ShardedJournal) ShardCount() int { return len(sj.shards) }
+
+// Members returns the attached volume IDs (the consistency-group
+// membership), in attach order across all shards.
+func (sj *ShardedJournal) Members() []VolumeID {
+	out := make([]VolumeID, len(sj.members))
+	copy(out, sj.members)
+	return out
+}
+
+// ShardIndexOf returns the shard a member volume is placed on (-1 for
+// non-members).
+func (sj *ShardedJournal) ShardIndexOf(id VolumeID) int {
+	k, ok := sj.byVol[id]
+	if !ok {
+		return -1
+	}
+	return k
+}
+
+// Epoch returns the current open epoch.
+func (sj *ShardedJournal) Epoch() int64 { return sj.epoch }
+
+// SealEpoch atomically closes the open epoch and opens the next, returning
+// the sealed epoch. Every record acked before the call carries an epoch <=
+// the sealed value and every later ack a greater one, so the sealed set is
+// an exact prefix of the group's cross-volume ack order — the barrier the
+// multi-lane drain converges on before declaring a consistency cut.
+func (sj *ShardedJournal) SealEpoch() int64 {
+	sealed := sj.epoch
+	sj.epoch++
+	return sealed
+}
+
+// Pending returns the backlog across all shards.
+func (sj *ShardedJournal) Pending() int {
+	var n int
+	for _, j := range sj.shards {
+		n += j.Pending()
+	}
+	return n
+}
+
+// PendingBytes returns the wire size of the backlog across all shards.
+func (sj *ShardedJournal) PendingBytes() int {
+	var n int
+	for _, j := range sj.shards {
+		n += j.PendingBytes()
+	}
+	return n
+}
+
+// Appended returns the lifetime record count across all shards.
+func (sj *ShardedJournal) Appended() int64 {
+	var n int64
+	for _, j := range sj.shards {
+		n += j.Appended()
+	}
+	return n
+}
+
+// Drained returns the lifetime drained count across all shards.
+func (sj *ShardedJournal) Drained() int64 {
+	var n int64
+	for _, j := range sj.shards {
+		n += j.Drained()
+	}
+	return n
+}
+
+// Overflowed reports whether the group has overflowed (pair suspended).
+func (sj *ShardedJournal) Overflowed() bool { return sj.overflowed }
+
+// Overflows returns how many times the group has overflowed.
+func (sj *ShardedJournal) Overflows() int64 { return sj.overflows }
+
+// ClearOverflow re-enables journaling on every shard after a resync.
+func (sj *ShardedJournal) ClearOverflow() {
+	sj.overflowed = false
+	for _, j := range sj.shards {
+		j.ClearOverflow()
+	}
+}
+
+// overflow fails the whole group closed: every shard suspends and starts
+// change tracking on its members, even if only one shard hit its capacity.
+func (sj *ShardedJournal) overflow() {
+	sj.overflowed = true
+	sj.overflows++
+	for _, j := range sj.shards {
+		if !j.overflowed {
+			j.overflowLocal()
+		}
+	}
+}
+
+func (sj *ShardedJournal) String() string {
+	return fmt.Sprintf("ShardedJournal(%s){shards=%d members=%d pending=%d epoch=%d}",
+		sj.id, len(sj.shards), len(sj.members), sj.Pending(), sj.epoch)
+}

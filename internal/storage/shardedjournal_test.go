@@ -1,0 +1,262 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func shardedFixture(t *testing.T, shards, vols, capacityPerShard int) (*sim.Env, *Array, *ShardedJournal) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	a := NewArray(env, "main", Config{})
+	ids := make([]VolumeID, vols)
+	for i := range ids {
+		ids[i] = VolumeID(fmt.Sprintf("vol-%02d", i))
+		if _, err := a.CreateVolume(ids[i], 256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sj, err := a.CreateShardedConsistencyGroupSized("cg", ids, shards, capacityPerShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, a, sj
+}
+
+// TestShardPlacementIsStableHash pins the determinism requirement: placement
+// is a function of the volume ID alone, so two identically-configured groups
+// — even with members attached in a different order, on different arrays —
+// place every volume on the same shard.
+func TestShardPlacementIsStableHash(t *testing.T) {
+	const shards = 4
+	mk := func(seed int64, order []VolumeID) *ShardedJournal {
+		env := sim.NewEnv(seed)
+		a := NewArray(env, "arr", Config{})
+		for _, id := range order {
+			if _, err := a.CreateVolume(id, 64); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sj, err := a.CreateShardedConsistencyGroup("cg", order, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sj
+	}
+	fwd := make([]VolumeID, 16)
+	for i := range fwd {
+		fwd[i] = VolumeID(fmt.Sprintf("vol-%02d", i))
+	}
+	rev := make([]VolumeID, len(fwd))
+	for i := range rev {
+		rev[i] = fwd[len(fwd)-1-i]
+	}
+	a, b := mk(1, fwd), mk(99, rev)
+	for _, id := range fwd {
+		if a.ShardIndexOf(id) != b.ShardIndexOf(id) {
+			t.Errorf("%s placed on shard %d vs %d — placement depends on attach order",
+				id, a.ShardIndexOf(id), b.ShardIndexOf(id))
+		}
+		if got := a.ShardIndexOf(id); got != ShardFor(id, shards) {
+			t.Errorf("%s: ShardIndexOf=%d, ShardFor=%d", id, got, ShardFor(id, shards))
+		}
+	}
+	// Placement actually spreads: a 16-volume group must use > 1 shard.
+	used := map[int]bool{}
+	for _, id := range fwd {
+		used[a.ShardIndexOf(id)] = true
+	}
+	if len(used) < 2 {
+		t.Errorf("all 16 volumes hashed onto one shard: %v", used)
+	}
+}
+
+// TestShardedWritesRouteToPlacedShard checks the write path: a journaled
+// write lands on exactly the volume's placed shard, with that shard's own
+// sequence and the group's open epoch.
+func TestShardedWritesRouteToPlacedShard(t *testing.T) {
+	env, a, sj := shardedFixture(t, 4, 8, 0)
+	env.Process("w", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			v, _ := a.Volume(VolumeID(fmt.Sprintf("vol-%02d", i)))
+			if _, err := v.Write(p, 0, block(a, byte(i))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	env.Run(0)
+	if sj.Pending() != 8 {
+		t.Fatalf("pending = %d, want 8", sj.Pending())
+	}
+	for k, shard := range sj.Shards() {
+		for _, r := range shard.PendingRecords() {
+			if sj.ShardIndexOf(r.Volume) != k {
+				t.Errorf("record for %s on shard %d, placed on %d", r.Volume, k, sj.ShardIndexOf(r.Volume))
+			}
+			if r.Epoch != 1 {
+				t.Errorf("record epoch = %d, want open epoch 1", r.Epoch)
+			}
+		}
+	}
+	if sealed := sj.SealEpoch(); sealed != 1 {
+		t.Fatalf("sealed = %d, want 1", sealed)
+	}
+	env.Process("w2", func(p *sim.Proc) {
+		v, _ := a.Volume("vol-00")
+		if _, err := v.Write(p, 1, block(a, 0xEE)); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run(0)
+	shard := sj.Shards()[sj.ShardIndexOf("vol-00")]
+	recs := shard.PendingRecords()
+	if got := recs[len(recs)-1].Epoch; got != 2 {
+		t.Fatalf("post-seal record epoch = %d, want 2", got)
+	}
+}
+
+// TestShardOverflowFailsWholeGroupClosed extends the WAL-boundary fail-closed
+// pattern to sharded journals: when ONE shard's backlog would exceed its
+// capacity, the entire group suspends — every shard stops journaling and
+// every member volume change-tracks — because a group journaling on some
+// shards only cannot replay a consistent cross-shard cut.
+func TestShardOverflowFailsWholeGroupClosed(t *testing.T) {
+	// Capacity fits exactly two 4KiB records per shard.
+	env, a, sj := shardedFixture(t, 2, 4, 2*(4096+recordHeaderBytes))
+	var victim VolumeID // any volume on a populated shard
+	for _, shard := range sj.Shards() {
+		if ms := shard.Members(); len(ms) > 0 {
+			victim = ms[0]
+			break
+		}
+	}
+	env.Process("w", func(p *sim.Proc) {
+		v, _ := a.Volume(victim)
+		for i := int64(0); i < 3; i++ { // third append would exceed shard 0
+			if _, err := v.Write(p, i, block(a, 0x77)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	env.Run(0)
+	if !sj.Overflowed() || sj.Overflows() != 1 {
+		t.Fatalf("group overflowed=%v overflows=%d, want true/1", sj.Overflowed(), sj.Overflows())
+	}
+	for k, shard := range sj.Shards() {
+		if !shard.Overflowed() {
+			t.Errorf("shard %d not suspended after sibling overflow", k)
+		}
+	}
+	appended := sj.Appended()
+	env.Process("w2", func(p *sim.Proc) {
+		// Writes anywhere in the group are tracked, not journaled.
+		for _, id := range sj.Members() {
+			v, _ := a.Volume(id)
+			if _, err := v.Write(p, 10, block(a, 0x78)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	env.Run(0)
+	if sj.Appended() != appended {
+		t.Fatalf("suspended group still journaled: appended %d -> %d", appended, sj.Appended())
+	}
+	for _, id := range sj.Members() {
+		v, _ := a.Volume(id)
+		if len(v.ChangedBlocks()) == 0 {
+			t.Errorf("%s not change-tracking while suspended", id)
+		}
+	}
+}
+
+// TestShardedTryTakeIntoBuffersAreIndependent pins that per-shard drains can
+// reuse one scratch buffer per lane: a batch taken from one shard must not
+// alias another shard's buffer or pending state (run under -race in CI).
+func TestShardedTryTakeIntoBuffersAreIndependent(t *testing.T) {
+	env, a, sj := shardedFixture(t, 2, 4, 0)
+	env.Process("w", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			v, _ := a.Volume(VolumeID(fmt.Sprintf("vol-%02d", i)))
+			for b := int64(0); b < 4; b++ {
+				if _, err := v.Write(p, b, block(a, byte(16*i+int(b)))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	})
+	env.Run(0)
+	s0, s1 := sj.Shards()[0], sj.Shards()[1]
+	if s0.Pending() == 0 || s1.Pending() == 0 {
+		t.Fatalf("fixture degenerate: shard pendings %d/%d", s0.Pending(), s1.Pending())
+	}
+	var buf0, buf1 []Record
+	b0 := s0.TryTakeInto(buf0, 4)
+	b1 := s1.TryTakeInto(buf1, 4)
+	snapshot := append([]Record(nil), b1...)
+	// Overwrite lane 0's batch wholesale; lane 1's batch must be untouched.
+	for i := range b0 {
+		b0[i] = Record{Seq: -1, Volume: "poison"}
+	}
+	for i := range b1 {
+		if b1[i].Seq != snapshot[i].Seq || b1[i].Volume != snapshot[i].Volume {
+			t.Fatalf("shard 1 batch mutated by shard 0 write at %d: %+v", i, b1[i])
+		}
+	}
+	// And the next take on shard 0 reuses ITS buffer without touching b1.
+	_ = s0.TryTakeInto(b0, 4)
+	for i := range b1 {
+		if b1[i].Seq != snapshot[i].Seq {
+			t.Fatalf("shard 1 batch mutated by shard 0 re-take at %d", i)
+		}
+	}
+}
+
+// TestShardedGroupLifecycleGuards covers creation/deletion error paths.
+func TestShardedGroupLifecycleGuards(t *testing.T) {
+	env := sim.NewEnv(1)
+	a := NewArray(env, "main", Config{})
+	for i := 0; i < 2; i++ {
+		if _, err := a.CreateVolume(VolumeID(fmt.Sprintf("vol-%02d", i)), 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.CreateShardedConsistencyGroup("cg", []VolumeID{"vol-00"}, 0); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	sj, err := a.CreateShardedConsistencyGroup("cg", []VolumeID{"vol-00", "vol-01"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CreateShardedConsistencyGroup("cg", []VolumeID{"vol-00"}, 2); !errors.Is(err, ErrJournalExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	// Attaching an already-grouped volume elsewhere fails and rolls back.
+	if _, err := a.CreateShardedConsistencyGroup("cg2", []VolumeID{"vol-01"}, 2); !errors.Is(err, ErrJournalAttached) {
+		t.Fatalf("re-attach: %v", err)
+	}
+	if _, err := a.ShardedJournal("cg2"); err == nil {
+		t.Fatal("failed create left a registered group")
+	}
+	if _, err := a.Journal(shardJournalID("cg2", 0)); err == nil {
+		t.Fatal("failed create left shard journals behind")
+	}
+	if err := a.DeleteShardedJournal("cg"); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < sj.ShardCount(); k++ {
+		if _, err := a.Journal(shardJournalID("cg", k)); err == nil {
+			t.Fatalf("shard %d survives group deletion", k)
+		}
+	}
+	v, _ := a.Volume("vol-00")
+	if v.Journal() != nil {
+		t.Fatal("member still attached after group deletion")
+	}
+}

@@ -210,6 +210,20 @@ func (v *Volume) Poke(block int64, data []byte) error {
 	return nil
 }
 
+// InstallDelta stores a block as part of a replication delta-set commit.
+// No service time passes here — the engine charges the whole set's apply
+// time up front via Array.ApplyDeltaSet — but write accounting matches the
+// Apply path so backup-array counters see the traffic.
+func (v *Volume) InstallDelta(block int64, data []byte) error {
+	if err := v.Poke(block, data); err != nil {
+		return err
+	}
+	v.writes++
+	v.array.writeOps++
+	v.array.bytesWritten += int64(len(data))
+	return nil
+}
+
 // Apply is the replication-target write path: it stores the block after the
 // media service time but never journals (targets do not re-replicate) and
 // ignores read-only protection (the replication engine owns the target).
