@@ -4,7 +4,7 @@
 #         format check, vet, build, full tests (plain and -race: the sim
 #         kernel and the fabric dispatchers move work across goroutines),
 #         and `bench-check`, the bench-regression gate: every experiment
-#         harness (E1-E13) runs at -benchtime 3x -benchmem and FAILS the
+#         harness (E1-E14) runs at -benchtime 3x -benchmem and FAILS the
 #         build if any harness's ns/op regressed more than 25% against the
 #         committed BENCH_baseline.json (alloc regressions warn; new
 #         benches are allowed and reported). `make bench-smoke` is the

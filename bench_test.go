@@ -183,3 +183,24 @@ func BenchmarkE11_FleetScale(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE14_Elasticity regenerates E14: the declarative tenant-lifecycle
+// experiment — a steady baseline fleet, then the same fleet with mid-run
+// joins (initial copy under OLTP load, one join racing a site failover) and
+// a mid-run leave whose decommission must reclaim every volume and journal
+// shard. The acceptance shape is asserted here too: every tenant (initial
+// and joined) verifies consistent and the leaver leaves zero residue.
+func BenchmarkE14_Elasticity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E14Elasticity(int64(i+1), 10, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Verified != res.Tenants+res.Joined || res.Collapsed != 0 {
+			b.Fatalf("elasticity fleet inconsistent: %+v", res)
+		}
+		if !res.ReclaimOK || res.ResidueLeaks != 0 {
+			b.Fatalf("decommission leaked: %+v", res)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -134,6 +135,58 @@ func ratio(cur, base float64) string {
 	return fmt.Sprintf("%+.1f%%", (cur/base-1)*100)
 }
 
+// deltaSummary condenses the whole run into one line — printed on pass as
+// well as fail, so a green gate still reports how far the needle moved:
+// median and worst ns/op delta over the compared benchmarks, plus any
+// new/missing ones.
+func deltaSummary(baseline, current []Entry) string {
+	base := make(map[string]Entry, len(baseline))
+	for _, e := range baseline {
+		base[e.Name] = e
+	}
+	var deltas []float64
+	var worst float64
+	worstName := ""
+	newCount := 0
+	seen := make(map[string]bool, len(current))
+	for _, cur := range current {
+		seen[cur.Name] = true
+		b, ok := base[cur.Name]
+		if !ok || b.NsPerOp <= 0 {
+			newCount++
+			continue
+		}
+		d := cur.NsPerOp/b.NsPerOp - 1
+		deltas = append(deltas, d)
+		if worstName == "" || d > worst {
+			worst, worstName = d, cur.Name
+		}
+	}
+	missing := 0
+	for _, b := range baseline {
+		if !seen[b.Name] {
+			missing++
+		}
+	}
+	if len(deltas) == 0 {
+		return fmt.Sprintf("no baseline overlap (%d new, %d missing)", newCount, missing)
+	}
+	sort.Float64s(deltas)
+	median := deltas[len(deltas)/2]
+	if len(deltas)%2 == 0 {
+		median = (deltas[len(deltas)/2-1] + deltas[len(deltas)/2]) / 2
+	}
+	s := fmt.Sprintf("%d compared, ns/op median %+.1f%%, worst %+.1f%% (%s)",
+		len(deltas), median*100, worst*100, worstName)
+	if newCount > 0 {
+		s += fmt.Sprintf(", %d new", newCount)
+	}
+	if missing > 0 {
+		s += fmt.Sprintf(", %d missing", missing)
+	}
+	return s
+}
+
 // compare classifies every current benchmark against the baseline. ns/op
 // regressions beyond nsThreshold block; alloc/bytes regressions beyond
 // allocThreshold warn; baseline entries absent from the run warn as
@@ -211,9 +264,11 @@ func main() {
 			blocking++
 		}
 	}
+	summary := deltaSummary(baseline, current)
 	if blocking > 0 {
-		fmt.Fprintf(os.Stderr, "benchcheck: %d benchmark(s) regressed past the ns/op threshold\n", blocking)
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL — %d benchmark(s) regressed past the ns/op threshold; %s\n",
+			blocking, summary)
 		os.Exit(1)
 	}
-	fmt.Printf("benchcheck: %d benchmark(s) within threshold of %s\n", len(current), *baselinePath)
+	fmt.Printf("benchcheck: PASS vs %s — %s\n", *baselinePath, summary)
 }

@@ -123,3 +123,33 @@ func TestCompareToleratesBaselineWithoutAllocs(t *testing.T) {
 		t.Errorf("verdict = %+v", v)
 	}
 }
+
+func TestDeltaSummaryReportsMedianWorstNewMissing(t *testing.T) {
+	baseline := []Entry{
+		{Name: "A", NsPerOp: 1000},
+		{Name: "B", NsPerOp: 2000},
+		{Name: "C", NsPerOp: 4000},
+		{Name: "Gone", NsPerOp: 100},
+	}
+	current := []Entry{
+		{Name: "A", NsPerOp: 1100}, // +10%
+		{Name: "B", NsPerOp: 1800}, // -10%
+		{Name: "C", NsPerOp: 6000}, // +50% — worst
+		{Name: "Fresh", NsPerOp: 1},
+	}
+	s := deltaSummary(baseline, current)
+	for _, want := range []string{
+		"3 compared", "median +10.0%", "worst +50.0% (C)", "1 new", "1 missing",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestDeltaSummaryNoOverlap(t *testing.T) {
+	s := deltaSummary([]Entry{{Name: "Old", NsPerOp: 1}}, []Entry{{Name: "New", NsPerOp: 1}})
+	if !strings.Contains(s, "no baseline overlap") || !strings.Contains(s, "1 new") || !strings.Contains(s, "1 missing") {
+		t.Errorf("summary = %q", s)
+	}
+}

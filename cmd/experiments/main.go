@@ -1,5 +1,5 @@
 // Command experiments regenerates every table/figure of the reproduction
-// (E1-E13; DESIGN.md carries the experiment index). Select a subset with
+// (E1-E14; DESIGN.md carries the experiment index). Select a subset with
 // -run.
 package main
 
@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment IDs (e1,e2,...,e13) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment IDs (e1,e2,...,e14) or 'all'")
 	seed := flag.Int64("seed", 1, "base simulation seed")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	flag.Parse()
@@ -141,6 +141,17 @@ func main() {
 			log.Fatalf("E13: %v", err)
 		}
 		fmt.Println(experiments.E13Table(res))
+	}
+	if sel("e14") {
+		tenants, e14Orders := 24, 10
+		if *quick {
+			tenants, e14Orders = 10, 8
+		}
+		res, err := experiments.E14Elasticity(*seed, tenants, e14Orders)
+		if err != nil {
+			log.Fatalf("E14: %v", err)
+		}
+		fmt.Println(experiments.E14Table(res))
 	}
 	if sel("e9") {
 		batch, err := experiments.E9BatchSweep(*seed, []int{1, 4, 16, 64, 256}, orders)

@@ -74,6 +74,9 @@ type Config struct {
 	DB db.Config
 	// VolumeBlocks is the size of each provisioned volume (default 2048).
 	VolumeBlocks int64
+	// ProvisionTimeout bounds ProvisionTenant / DecommissionTenant waits
+	// (default 30s; fleets provisioning many tenants at once raise it).
+	ProvisionTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +129,15 @@ type System struct {
 	revPaths  map[string]*fabric.TenantPath
 	lanePaths map[string][]*fabric.TenantPath
 
+	// Tenant lifecycle (tenant.go): the controllers reconciling Tenant
+	// specs, the set of namespaces they manage, and the per-tenant QoS
+	// bindings TenantSpec declares.
+	tenantCtrls       []*platform.Controller
+	managedTenants    map[string]bool
+	tenantClass       map[string]string
+	tenantLaneClasses map[string][]string
+	decommissioned    int64
+
 	// reverse holds the backup→main groups Failback started; they live
 	// outside the replication plugin's registry, so Stop tracks them here.
 	reverse []*replication.Group
@@ -150,9 +162,12 @@ func NewSystem(cfg Config) *System {
 			API:   platform.NewAPIServer(env, cfg.API),
 			Array: storage.NewArray(env, "vsp-backup", cfg.Storage),
 		},
-		paths:     make(map[string]*fabric.TenantPath),
-		revPaths:  make(map[string]*fabric.TenantPath),
-		lanePaths: make(map[string][]*fabric.TenantPath),
+		paths:             make(map[string]*fabric.TenantPath),
+		revPaths:          make(map[string]*fabric.TenantPath),
+		lanePaths:         make(map[string][]*fabric.TenantPath),
+		managedTenants:    make(map[string]bool),
+		tenantClass:       make(map[string]string),
+		tenantLaneClasses: make(map[string][]string),
 	}
 	// Inter-site fabric: member links default to the single cfg.Link; a
 	// Fabric.Links roster swaps in a multi-link interconnect. Member 0's
@@ -185,12 +200,16 @@ func NewSystem(cfg Config) *System {
 	})
 	sys.Main.Snapshots = csiplugin.NewSnapshotController(env, sys.Main.API, sys.Main.Array, cfg.FeatureGates)
 	sys.Backup.Snapshots = csiplugin.NewSnapshotController(env, sys.Backup.API, sys.Backup.Array, cfg.FeatureGates)
+	sys.tenantCtrls = sys.newTenantControllers()
 
 	sys.Provisioner.Start()
 	sys.Replication.Start()
 	sys.Operator.Start()
 	sys.Main.Snapshots.Start()
 	sys.Backup.Snapshots.Start()
+	for _, c := range sys.tenantCtrls {
+		c.Start()
+	}
 
 	env.Process("bootstrap", func(p *sim.Proc) {
 		if err := sys.Main.API.Create(p, &platform.StorageClass{
@@ -212,6 +231,9 @@ func NewSystem(cfg Config) *System {
 // benchmark iterating over fresh systems accumulates those leaks into
 // GC/scheduler cost that corrupts later measurements.
 func (sys *System) Stop() {
+	for _, c := range sys.tenantCtrls {
+		c.Stop()
+	}
 	sys.Operator.Stop()
 	sys.Provisioner.Stop()
 	sys.Replication.Stop()
@@ -237,44 +259,23 @@ type BusinessProcess struct {
 	Shop      *workload.Shop
 }
 
-// DeployBusinessProcess creates the namespace and its two claims, waits for
-// the provisioner to bind them, and opens the databases.
+// DeployBusinessProcess declares the namespace with its two claims as a
+// Tenant spec and waits for the tenant controller to provision and bind
+// them, then opens the databases — a thin wrapper over ProvisionTenant
+// (backup off; EnableBackup flips it on declaratively).
 func (sys *System) DeployBusinessProcess(p *sim.Proc, namespace string) (*BusinessProcess, error) {
-	if err := sys.Main.API.Create(p, &platform.Namespace{
-		Meta: platform.Meta{Kind: platform.KindNamespace, Name: namespace},
-	}); err != nil {
-		return nil, err
-	}
-	pvcs := []string{"sales", "stock"}
-	for _, name := range pvcs {
-		if err := sys.Main.API.Create(p, &platform.PersistentVolumeClaim{
-			Meta: platform.Meta{Kind: platform.KindPVC, Namespace: namespace, Name: name},
-			Spec: platform.PVCSpec{StorageClassName: StorageClassName, SizeBlocks: sys.Cfg.VolumeBlocks},
-		}); err != nil {
-			return nil, err
-		}
-	}
-	for _, name := range pvcs {
-		if err := sys.waitClaimBound(p, namespace, name, time.Second); err != nil {
-			return nil, err
-		}
-	}
-	sales, err := sys.openDB(p, namespace, "sales")
-	if err != nil {
-		return nil, err
-	}
-	stock, err := sys.openDB(p, namespace, "stock")
-	if err != nil {
-		return nil, err
-	}
-	bp := &BusinessProcess{
+	return sys.ProvisionTenant(p, platform.TenantSpec{
 		Namespace: namespace,
-		PVCNames:  pvcs,
-		Sales:     sales,
-		Stock:     stock,
+		PVCNames:  []string{"sales", "stock"},
+	})
+}
+
+// provisionTimeout is the default wait bound for tenant lifecycle calls.
+func (sys *System) provisionTimeout() time.Duration {
+	if sys.Cfg.ProvisionTimeout > 0 {
+		return sys.Cfg.ProvisionTimeout
 	}
-	bp.Shop = workload.NewShop(sys.Env, sales, stock, workload.Config{Seed: sys.Cfg.Seed})
-	return bp, nil
+	return 30 * time.Second
 }
 
 func (sys *System) openDB(p *sim.Proc, namespace, claim string) (*db.DB, error) {
@@ -285,37 +286,54 @@ func (sys *System) openDB(p *sim.Proc, namespace, claim string) (*db.DB, error) 
 	return db.Open(p, fmt.Sprintf("%s/%s", namespace, claim), vol, sys.Cfg.DB)
 }
 
-func (sys *System) waitClaimBound(p *sim.Proc, namespace, name string, timeout time.Duration) error {
-	deadline := p.Now() + timeout
-	for {
-		obj, err := sys.Main.API.Get(p, platform.ObjectKey{Kind: platform.KindPVC, Namespace: namespace, Name: name})
-		if err == nil && obj.(*platform.PersistentVolumeClaim).Status.Phase == platform.ClaimBound {
-			return nil
-		}
-		if p.Now() >= deadline {
-			return fmt.Errorf("%w: claim %s/%s not bound", ErrTimeout, namespace, name)
-		}
-		p.Sleep(5 * time.Millisecond)
-	}
-}
-
-// EnableBackup performs demo step 1 (Fig. 3): tag the namespace and wait
-// until the operator and the replication plugin report the replication
-// group Ready.
+// EnableBackup performs demo step 1 (Fig. 3) declaratively: set Backup on
+// the namespace's Tenant spec (creating an adopting spec when the namespace
+// was provisioned imperatively) and wait until the operator and the
+// replication plugin report the replication group Ready.
 func (sys *System) EnableBackup(p *sim.Proc, namespace string) error {
-	obj, err := sys.Main.API.Get(p, platform.ObjectKey{Kind: platform.KindNamespace, Name: namespace})
+	err := sys.setTenantBackup(p, namespace, true)
+	if errors.Is(err, platform.ErrNotFound) {
+		// Adopt an imperatively-provisioned namespace: the namespace must
+		// already exist (a typo'd name fails here, not after a timeout), and
+		// the empty claim list leaves its claims alone — the spec only
+		// manages the backup side.
+		if _, err := sys.Main.API.Get(p, platform.ObjectKey{Kind: platform.KindNamespace, Name: namespace}); err != nil {
+			return err
+		}
+		err = sys.Main.API.Create(p, &platform.Tenant{
+			Meta: platform.Meta{Kind: platform.KindTenant, Name: namespace},
+			Spec: platform.TenantSpec{Namespace: namespace, Backup: true},
+		})
+	}
 	if err != nil {
 		return err
 	}
-	ns := obj.(*platform.Namespace)
-	if ns.Labels == nil {
-		ns.Labels = map[string]string{}
-	}
-	ns.Labels[operator.Tag] = operator.TagValue
-	if err := sys.Main.API.Update(p, ns); err != nil {
+	// Wait on the replication group itself rather than the tenant phase: a
+	// tenant that was already Ready without backup holds that phase until
+	// the controller reconciles the spec change.
+	return sys.WaitBackupReady(p, namespace, sys.provisionTimeout())
+}
+
+// setTenantBackup flips Spec.Backup on the Tenant object, retrying version
+// conflicts (the tenant controller updates the same object's status
+// concurrently). Returns ErrNotFound when no Tenant spec exists.
+func (sys *System) setTenantBackup(p *sim.Proc, namespace string, backup bool) error {
+	for {
+		obj, err := sys.Main.API.Get(p, tenantKey(namespace))
+		if err != nil {
+			return err
+		}
+		tn := obj.(*platform.Tenant)
+		if tn.Spec.Backup == backup {
+			return nil
+		}
+		tn.Spec.Backup = backup
+		err = sys.Main.API.Update(p, tn)
+		if errors.Is(err, platform.ErrConflict) {
+			continue
+		}
 		return err
 	}
-	return sys.WaitBackupReady(p, namespace, 30*time.Second)
 }
 
 // WaitBackupReady blocks until the namespace's ReplicationGroup is Ready.
@@ -340,23 +358,44 @@ func (sys *System) WaitBackupReady(p *sim.Proc, namespace string, timeout time.D
 	}
 }
 
-// DisableBackup removes the tag; the operator tears the replication down.
+// DisableBackup clears Backup on the tenant spec (the controller removes
+// the tag and the operator tears the replication down). Namespaces tagged
+// imperatively — no Tenant spec — are untagged directly.
 func (sys *System) DisableBackup(p *sim.Proc, namespace string) error {
-	obj, err := sys.Main.API.Get(p, platform.ObjectKey{Kind: platform.KindNamespace, Name: namespace})
+	err := sys.setTenantBackup(p, namespace, false)
+	if !errors.Is(err, platform.ErrNotFound) {
+		return err
+	}
+	nsObj, err := sys.Main.API.Get(p, platform.ObjectKey{Kind: platform.KindNamespace, Name: namespace})
 	if err != nil {
 		return err
 	}
-	ns := obj.(*platform.Namespace)
+	ns := nsObj.(*platform.Namespace)
 	delete(ns.Labels, operator.Tag)
 	return sys.Main.API.Update(p, ns)
 }
 
-// classFor resolves a namespace's QoS class name.
+// classFor resolves a namespace's QoS class name: a TenantSpec's QoSClass
+// wins, then the deployment-wide Config.PathClass hook.
 func (sys *System) classFor(namespace string) string {
+	if c, ok := sys.tenantClass[namespace]; ok {
+		return c
+	}
 	if sys.Cfg.PathClass == nil {
 		return ""
 	}
 	return sys.Cfg.PathClass(namespace)
+}
+
+// laneClassFor resolves the QoS class for one drain lane of a sharded
+// journal: a TenantSpec's per-lane LaneClasses entry wins, falling back to
+// the tenant's class — so by default every lane rides the tenant's class,
+// exactly as before per-shard QoS existed.
+func (sys *System) laneClassFor(namespace string, lane int) string {
+	if cs := sys.tenantLaneClasses[namespace]; lane < len(cs) && cs[lane] != "" {
+		return cs[lane]
+	}
+	return sys.classFor(namespace)
 }
 
 // PathFor returns the namespace's forward (main→backup) fabric path,
@@ -392,7 +431,7 @@ func (sys *System) LanePathFor(namespace string, lane int) *fabric.TenantPath {
 		ps = append(ps, nil)
 	}
 	if ps[lane] == nil {
-		ps[lane] = sys.Fabric.Forward.Path(sys.classFor(namespace), fmt.Sprintf("adc:%s:s%d", namespace, lane))
+		ps[lane] = sys.Fabric.Forward.Path(sys.laneClassFor(namespace, lane), fmt.Sprintf("adc:%s:s%d", namespace, lane))
 	}
 	sys.lanePaths[namespace] = ps
 	return ps[lane]

@@ -1,0 +1,527 @@
+// Tenant lifecycle: the declarative provisioning surface of the system.
+//
+// A tenant is declared as a platform.Tenant object (namespace, claims, QoS
+// class, journal shards, backup on/off). The tenant controller — built on
+// the same controller runtime as the operator and the CSI plugins —
+// reconciles spec to world: it creates the namespace and claims, registers
+// the tenant's fabric QoS classes, and threads the backup tag (plus the
+// per-tenant shard-count label) to the namespace so the operator and the
+// replication plugin do the rest. Deleting the Tenant object reconciles the
+// other way: the namespace goes, the operator removes the ReplicationGroup,
+// the replication plugin detaches and deletes the journal (or its shards),
+// the provisioner unwinds claim volumes, and this controller reclaims the
+// backup-site twins — until both arrays report zero residue for the tenant.
+//
+// ProvisionTenant and DecommissionTenant are the client calls: submit the
+// spec (or its deletion) and wait for the controller to converge. The
+// one-shot constructors in core.go (DeployBusinessProcess, EnableBackup,
+// DisableBackup) are thin wrappers over the same path.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/csiplugin"
+	"repro/internal/operator"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// tenantKey names the cluster-scoped Tenant object for a namespace.
+func tenantKey(namespace string) platform.ObjectKey {
+	return platform.ObjectKey{Kind: platform.KindTenant, Name: namespace}
+}
+
+// newTenantControllers builds the tenant controller set: the Tenant watch
+// plus ReplicationGroup/PVC/Namespace watches mapped back to tenant keys so
+// status converges on events instead of polling. The map functions filter
+// on the managed-tenant set, so namespaces provisioned imperatively (the
+// pre-declarative experiment paths) never cost a reconcile.
+func (sys *System) newTenantControllers() []*platform.Controller {
+	rec := platform.ReconcilerFunc(sys.reconcileTenant)
+	managedKey := func(ns string) []platform.ObjectKey {
+		if !sys.managedTenants[ns] {
+			return nil
+		}
+		return []platform.ObjectKey{tenantKey(ns)}
+	}
+	return []*platform.Controller{
+		platform.NewController(sys.Env, sys.Main.API, "tenant-controller",
+			platform.KindTenant, nil, rec, platform.ControllerConfig{}),
+		platform.NewController(sys.Env, sys.Main.API, "tenant-controller-rg",
+			platform.KindReplicationGroup, func(ev platform.Event) []platform.ObjectKey {
+				ns, ok := operator.NamespaceOfGroup(ev.Object.GetMeta().Name)
+				if !ok {
+					return nil
+				}
+				return managedKey(ns)
+			}, rec, platform.ControllerConfig{}),
+		platform.NewController(sys.Env, sys.Main.API, "tenant-controller-pvc",
+			platform.KindPVC, func(ev platform.Event) []platform.ObjectKey {
+				return managedKey(ev.Object.GetMeta().Namespace)
+			}, rec, platform.ControllerConfig{}),
+		platform.NewController(sys.Env, sys.Main.API, "tenant-controller-ns",
+			platform.KindNamespace, func(ev platform.Event) []platform.ObjectKey {
+				return managedKey(ev.Object.GetMeta().Name)
+			}, rec, platform.ControllerConfig{}),
+	}
+}
+
+// reconcileTenant is the level-triggered spec→world hook. It is idempotent:
+// every step checks before it creates, and a deleted spec converges to a
+// full teardown no matter how far provisioning had progressed.
+func (sys *System) reconcileTenant(p *sim.Proc, key platform.ObjectKey) error {
+	obj, err := sys.Main.API.Get(p, key)
+	if errors.Is(err, platform.ErrNotFound) {
+		if !sys.managedTenants[key.Name] {
+			return nil // never ours: an event for an imperative namespace
+		}
+		return sys.teardownTenant(p, key.Name)
+	}
+	if err != nil {
+		return err
+	}
+	tn := obj.(*platform.Tenant)
+	ns := tn.Spec.Namespace
+	if ns == "" {
+		ns = tn.Name
+	}
+	if ns != tn.Name {
+		return sys.setTenantStatus(p, tn, platform.TenantFailed,
+			fmt.Sprintf("spec namespace %q does not match object name %q", ns, tn.Name))
+	}
+	// Mark managed before touching the world so a spec deleted mid-reconcile
+	// still converges to teardown of whatever was already created.
+	sys.managedTenants[ns] = true
+	// Register the tenant's fabric QoS before any drain path exists for the
+	// namespace, so the replication plugin's first PathFor lands in class.
+	sys.setTenantClasses(ns, tn.Spec.QoSClass, tn.Spec.LaneClasses)
+
+	// Namespace.
+	nsKey := platform.ObjectKey{Kind: platform.KindNamespace, Name: ns}
+	nsObj, err := sys.Main.API.Get(p, nsKey)
+	if errors.Is(err, platform.ErrNotFound) {
+		if err := sys.Main.API.Create(p, &platform.Namespace{
+			Meta: platform.Meta{Kind: platform.KindNamespace, Name: ns},
+		}); err != nil && !errors.Is(err, platform.ErrExists) {
+			return err
+		}
+		nsObj, err = sys.Main.API.Get(p, nsKey)
+	}
+	if err != nil {
+		return err
+	}
+	nsCur := nsObj.(*platform.Namespace)
+
+	// Claims (created before the backup tag so the operator never sees a
+	// tagged-but-empty namespace).
+	blocks := tn.Spec.VolumeBlocks
+	if blocks <= 0 {
+		blocks = sys.Cfg.VolumeBlocks
+	}
+	for _, claim := range tn.Spec.PVCNames {
+		ck := platform.ObjectKey{Kind: platform.KindPVC, Namespace: ns, Name: claim}
+		if _, err := sys.Main.API.Get(p, ck); errors.Is(err, platform.ErrNotFound) {
+			if err := sys.Main.API.Create(p, &platform.PersistentVolumeClaim{
+				Meta: platform.Meta{Kind: platform.KindPVC, Namespace: ns, Name: claim},
+				Spec: platform.PVCSpec{StorageClassName: StorageClassName, SizeBlocks: blocks},
+			}); err != nil && !errors.Is(err, platform.ErrExists) {
+				return err
+			}
+		} else if err != nil {
+			return err
+		}
+	}
+
+	// Labels: the backup tag and the per-tenant shard-count override.
+	if sys.reconcileTenantLabels(nsCur, tn.Spec) {
+		if err := sys.Main.API.Update(p, nsCur); err != nil {
+			return err // conflict: retry with the fresh version
+		}
+	}
+
+	// Status.
+	phase, msg, err := sys.tenantPhase(p, ns, tn.Spec)
+	if err != nil {
+		return err
+	}
+	return sys.setTenantStatus(p, tn, phase, msg)
+}
+
+// reconcileTenantLabels brings the namespace's controller-owned labels in
+// line with the spec, reporting whether anything changed. User labels are
+// left alone.
+func (sys *System) reconcileTenantLabels(ns *platform.Namespace, spec platform.TenantSpec) bool {
+	if ns.Labels == nil {
+		ns.Labels = map[string]string{}
+	}
+	changed := false
+	if spec.Backup && ns.Labels[operator.Tag] != operator.TagValue {
+		ns.Labels[operator.Tag] = operator.TagValue
+		changed = true
+	}
+	if !spec.Backup {
+		if _, ok := ns.Labels[operator.Tag]; ok {
+			delete(ns.Labels, operator.Tag)
+			changed = true
+		}
+	}
+	wantShards := ""
+	if spec.JournalShards > 0 {
+		wantShards = strconv.Itoa(spec.JournalShards)
+	}
+	if got := ns.Labels[operator.ShardsLabel]; got != wantShards {
+		if wantShards == "" {
+			delete(ns.Labels, operator.ShardsLabel)
+		} else {
+			ns.Labels[operator.ShardsLabel] = wantShards
+		}
+		changed = true
+	}
+	return changed
+}
+
+// tenantPhase computes the tenant's current phase: with Backup, the
+// replication group's phase decides; without, every spec'd claim must be
+// bound.
+func (sys *System) tenantPhase(p *sim.Proc, ns string, spec platform.TenantSpec) (platform.TenantPhase, string, error) {
+	if spec.Backup {
+		rgKey := platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: operator.GroupNameFor(ns)}
+		obj, err := sys.Main.API.Get(p, rgKey)
+		if errors.Is(err, platform.ErrNotFound) {
+			return platform.TenantProvisioning, "waiting for the operator to create the replication group", nil
+		}
+		if err != nil {
+			return "", "", err
+		}
+		switch rg := obj.(*platform.ReplicationGroup); rg.Status.Phase {
+		case platform.GroupReady:
+			return platform.TenantReady, "replication running", nil
+		case platform.GroupFailed:
+			return platform.TenantFailed, "replication group failed: " + rg.Status.Message, nil
+		default:
+			return platform.TenantProvisioning, "replication " + string(rg.Status.Phase), nil
+		}
+	}
+	for _, claim := range spec.PVCNames {
+		ck := platform.ObjectKey{Kind: platform.KindPVC, Namespace: ns, Name: claim}
+		obj, err := sys.Main.API.Get(p, ck)
+		if errors.Is(err, platform.ErrNotFound) {
+			return platform.TenantProvisioning, "claim " + claim + " not created", nil
+		}
+		if err != nil {
+			return "", "", err
+		}
+		if obj.(*platform.PersistentVolumeClaim).Status.Phase != platform.ClaimBound {
+			return platform.TenantProvisioning, "claim " + claim + " not bound", nil
+		}
+	}
+	return platform.TenantReady, "provisioned", nil
+}
+
+// setTenantStatus patches the Tenant status if it changed, tolerating
+// conflicts (re-read and retry) and a concurrent delete (the Deleted event
+// requeues into teardown).
+func (sys *System) setTenantStatus(p *sim.Proc, tn *platform.Tenant, phase platform.TenantPhase, msg string) error {
+	for {
+		obj, err := sys.Main.API.Get(p, tn.Key())
+		if errors.Is(err, platform.ErrNotFound) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		cur := obj.(*platform.Tenant)
+		if cur.Status.Phase == phase && cur.Status.Message == msg {
+			return nil
+		}
+		cur.Status.Phase = phase
+		cur.Status.Message = msg
+		if phase == platform.TenantReady && cur.Status.ReadyAt == 0 {
+			cur.Status.ReadyAt = sys.Env.Now()
+		}
+		err = sys.Main.API.Update(p, cur)
+		if errors.Is(err, platform.ErrConflict) {
+			continue
+		}
+		return err
+	}
+}
+
+// teardownTenant converges a deleted Tenant spec to zero residue. Each call
+// makes progress and returns an error while downstream controllers (the
+// operator's group removal, the replication plugin's journal teardown, the
+// provisioner's volume unwind) still have work in flight; the controller's
+// backoff retries until both arrays are clean.
+func (sys *System) teardownTenant(p *sim.Proc, ns string) error {
+	if !sys.managedTenants[ns] {
+		return nil // another reconcile already finished the teardown
+	}
+	api := sys.Main.API
+	// 1. The namespace: deleting it makes the operator remove the
+	// ReplicationGroup, which makes the replication plugin stop the engines
+	// and delete + detach the journal (or all of its shards).
+	nsKey := platform.ObjectKey{Kind: platform.KindNamespace, Name: ns}
+	if _, err := api.Get(p, nsKey); err == nil {
+		if err := api.Delete(p, nsKey); err != nil && !errors.Is(err, platform.ErrNotFound) {
+			return err
+		}
+	} else if !errors.Is(err, platform.ErrNotFound) {
+		return err
+	}
+	groupName := operator.GroupNameFor(ns)
+	rgKey := platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: groupName}
+	if _, err := api.Get(p, rgKey); err == nil {
+		return fmt.Errorf("core: decommission %s: replication group still present", ns)
+	} else if !errors.Is(err, platform.ErrNotFound) {
+		return err
+	}
+	if n := len(sys.Replication.Groups(groupName)); n > 0 {
+		return fmt.Errorf("core: decommission %s: %d replication engines still running", ns, n)
+	}
+	// 2. Main-site claims: deleting the PVC objects has the provisioner
+	// unwind each bound PV and array volume (now detachable — the journal
+	// teardown above released them).
+	for _, obj := range api.List(p, platform.KindPVC, ns) {
+		if err := api.Delete(p, obj.GetMeta().Key()); err != nil && !errors.Is(err, platform.ErrNotFound) {
+			return err
+		}
+	}
+	// 3. Backup-site twins: no provisioner owns them, so the objects,
+	// snapshots, and volumes are reclaimed here.
+	bapi := sys.Backup.API
+	for _, kind := range []platform.Kind{platform.KindVolumeSnapshot, platform.KindVolumeGroupSnapshot} {
+		for _, obj := range bapi.List(p, kind, ns) {
+			if err := bapi.Delete(p, obj.GetMeta().Key()); err != nil && !errors.Is(err, platform.ErrNotFound) {
+				return err
+			}
+		}
+	}
+	for _, obj := range bapi.List(p, platform.KindPVC, ns) {
+		claim := obj.GetMeta().Name
+		if err := bapi.Delete(p, obj.GetMeta().Key()); err != nil && !errors.Is(err, platform.ErrNotFound) {
+			return err
+		}
+		pvKey := platform.ObjectKey{Kind: platform.KindPV, Name: csiplugin.PVNameForClaim(ns, claim)}
+		if err := bapi.Delete(p, pvKey); err != nil && !errors.Is(err, platform.ErrNotFound) {
+			return err
+		}
+		volID := csiplugin.VolumeIDForClaim(ns, claim)
+		if _, err := sys.Backup.Array.Volume(volID); err == nil {
+			if err := sys.Backup.Array.DeleteVolumeSnapshots(volID); err != nil {
+				return err
+			}
+			if err := sys.Backup.Array.DeleteVolume(volID); err != nil {
+				return err
+			}
+		}
+	}
+	// 4. The free-list invariant: nothing of the tenant may remain on either
+	// array. The provisioner's unwind is asynchronous, so residue here just
+	// means "retry shortly".
+	if res := sys.TenantResidue(ns); len(res) > 0 {
+		return fmt.Errorf("core: decommission %s: residue remains: %s", ns, strings.Join(res, "; "))
+	}
+	// 5. Reclaim the per-tenant bookkeeping. Four controllers can funnel the
+	// same key here concurrently; every API call above yields, so re-check
+	// the managed flag on this (yield-free) tail — exactly one reconcile
+	// completes the decommission.
+	if !sys.managedTenants[ns] {
+		return nil
+	}
+	delete(sys.paths, ns)
+	delete(sys.revPaths, ns)
+	delete(sys.lanePaths, ns)
+	delete(sys.tenantClass, ns)
+	delete(sys.tenantLaneClasses, ns)
+	delete(sys.managedTenants, ns)
+	sys.decommissioned++
+	return nil
+}
+
+// setTenantClasses records (or clears) the tenant's fabric QoS bindings.
+func (sys *System) setTenantClasses(ns, class string, lanes []string) {
+	if class != "" {
+		sys.tenantClass[ns] = class
+	} else {
+		delete(sys.tenantClass, ns)
+	}
+	if len(lanes) > 0 {
+		sys.tenantLaneClasses[ns] = append([]string(nil), lanes...)
+	} else {
+		delete(sys.tenantLaneClasses, ns)
+	}
+}
+
+// Decommissioned returns how many tenants reached zero residue after their
+// spec was deleted.
+func (sys *System) Decommissioned() int64 { return sys.decommissioned }
+
+// TenantResidue lists everything of the tenant still allocated on either
+// array (volumes, journals or shards, snapshots, snapshot groups) plus any
+// replication engine still registered — empty exactly when the tenant's
+// capacity is fully back on the free lists.
+//
+// Attribution is by ID prefix ("pvc-<ns>-", "jnl-backup-<ns>-"), so a
+// namespace that EXTENDS this one ("shop-2" vs "shop") would match too;
+// anything attributable to such a longer known namespace — managed or
+// imperative — is excluded, otherwise decommissioning "shop" could wait
+// forever on "shop-2"'s healthy volumes.
+func (sys *System) TenantResidue(namespace string) []string {
+	known := make(map[string]bool, len(sys.managedTenants))
+	for ns := range sys.managedTenants {
+		known[ns] = true
+	}
+	for _, ns := range sys.Main.API.Names(platform.KindNamespace) {
+		known[ns] = true
+	}
+	var longer []string
+	for ns := range known {
+		if ns != namespace && strings.HasPrefix(ns, namespace) {
+			longer = append(longer,
+				string(csiplugin.VolumeIDForClaim(ns, "")),
+				"jnl-"+operator.GroupNameFor(ns)+"-")
+		}
+	}
+	othersOwn := func(entry string) bool {
+		for _, p := range longer {
+			if strings.Contains(entry, p) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []string
+	volPrefix := string(csiplugin.VolumeIDForClaim(namespace, ""))
+	jnlPrefix := "jnl-" + operator.GroupNameFor(namespace) + "-"
+	for _, a := range []*storage.Array{sys.Main.Array, sys.Backup.Array} {
+		for _, prefix := range []string{volPrefix, jnlPrefix} {
+			for _, r := range a.Residue(prefix) {
+				if othersOwn(r) {
+					continue
+				}
+				out = append(out, a.Name()+": "+r)
+			}
+		}
+	}
+	for _, g := range sys.Replication.Groups(operator.GroupNameFor(namespace)) {
+		out = append(out, "replication engine "+g.Name())
+	}
+	return out
+}
+
+// ProvisionTenant submits a tenant spec and waits for the controller to
+// reconcile it to Ready — namespace, bound claims, and (with spec.Backup)
+// a running consistency-group replication including the initial copy — all
+// while other tenants keep serving load. For an OLTP-profile spec whose
+// claims include the business-process pair (sales + stock), the databases
+// are opened and a shop workload attached, so the returned BusinessProcess
+// is a drop-in for the imperative constructor's; a "data-only" profile
+// leaves the claims as raw replicated volumes.
+func (sys *System) ProvisionTenant(p *sim.Proc, spec platform.TenantSpec) (*BusinessProcess, error) {
+	ns := spec.Namespace
+	if ns == "" {
+		return nil, fmt.Errorf("core: tenant spec needs a namespace")
+	}
+	if err := sys.Main.API.Create(p, &platform.Tenant{
+		Meta:   platform.Meta{Kind: platform.KindTenant, Name: ns},
+		Spec:   spec,
+		Status: platform.TenantStatus{Phase: platform.TenantPending, Message: "spec accepted"},
+	}); err != nil {
+		return nil, err
+	}
+	if err := sys.WaitTenantReady(p, ns, sys.provisionTimeout()); err != nil {
+		return nil, err
+	}
+	bp := &BusinessProcess{Namespace: ns, PVCNames: append([]string(nil), spec.PVCNames...)}
+	hasClaim := func(name string) bool {
+		for _, c := range spec.PVCNames {
+			if c == name {
+				return true
+			}
+		}
+		return false
+	}
+	if spec.Profile != "data-only" && hasClaim("sales") && hasClaim("stock") {
+		var err error
+		if bp.Sales, err = sys.openDB(p, ns, "sales"); err != nil {
+			return nil, err
+		}
+		if bp.Stock, err = sys.openDB(p, ns, "stock"); err != nil {
+			return nil, err
+		}
+		// "oltp-external" leaves the workload to the caller — no throwaway
+		// default shop (the fleet seeds one per tenant).
+		if spec.Profile == "" || spec.Profile == "oltp" {
+			bp.Shop = workload.NewShop(sys.Env, bp.Sales, bp.Stock, workload.Config{Seed: sys.Cfg.Seed})
+		}
+	}
+	return bp, nil
+}
+
+// WaitTenantReady blocks until the tenant's status reaches Ready (nil), or
+// Failed / the timeout (error).
+func (sys *System) WaitTenantReady(p *sim.Proc, namespace string, timeout time.Duration) error {
+	deadline := p.Now() + timeout
+	for {
+		obj, err := sys.Main.API.Get(p, tenantKey(namespace))
+		if err == nil {
+			switch tn := obj.(*platform.Tenant); tn.Status.Phase {
+			case platform.TenantReady:
+				return nil
+			case platform.TenantFailed:
+				return fmt.Errorf("core: tenant %s failed: %s", namespace, tn.Status.Message)
+			}
+		} else if !errors.Is(err, platform.ErrNotFound) {
+			return err
+		}
+		if p.Now() >= deadline {
+			return fmt.Errorf("%w: tenant %s not ready", ErrTimeout, namespace)
+		}
+		p.Sleep(10 * time.Millisecond)
+	}
+}
+
+// DecommissionTenant drains the tenant's replication, deletes its spec, and
+// waits until the controller has detached the replication group and
+// reclaimed every volume and journal shard back to the array free lists.
+// Surviving tenants keep serving load throughout. Idempotent: a tenant
+// already gone (or mid-teardown) just waits for zero residue.
+func (sys *System) DecommissionTenant(p *sim.Proc, namespace string) error {
+	if _, err := sys.Main.API.Get(p, tenantKey(namespace)); err == nil {
+		// Drain first so the backup image is current when the group detaches
+		// (a failed-over or stopped engine has nothing left to drain).
+		for _, g := range sys.Groups(namespace) {
+			if !g.FailedOver() && !g.Stopped() {
+				g.CatchUp(p)
+			}
+		}
+		if err := sys.Main.API.Delete(p, tenantKey(namespace)); err != nil && !errors.Is(err, platform.ErrNotFound) {
+			return err
+		}
+	} else if !errors.Is(err, platform.ErrNotFound) {
+		return err
+	}
+	deadline := p.Now() + sys.provisionTimeout()
+	for {
+		_, err := sys.Main.API.Get(p, tenantKey(namespace))
+		gone := errors.Is(err, platform.ErrNotFound)
+		if err != nil && !gone {
+			return err
+		}
+		if gone && !sys.managedTenants[namespace] && len(sys.TenantResidue(namespace)) == 0 {
+			return nil
+		}
+		if p.Now() >= deadline {
+			return fmt.Errorf("%w: tenant %s not reclaimed: %s", ErrTimeout, namespace,
+				strings.Join(sys.TenantResidue(namespace), "; "))
+		}
+		p.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/platform"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// runSystem builds a system and drives fn in a simulation process.
+func runSystem(t *testing.T, cfg Config, fn func(p *sim.Proc, sys *System)) *System {
+	t.Helper()
+	sys := NewSystem(cfg)
+	failed := false
+	sys.Env.Process("test", func(p *sim.Proc) {
+		defer func() {
+			if r := recover(); r != nil {
+				failed = true
+				t.Errorf("panic: %v", r)
+			}
+		}()
+		fn(p, sys)
+	})
+	sys.Env.Run(2 * time.Hour)
+	if failed {
+		t.FailNow()
+	}
+	return sys
+}
+
+// spec returns a standard business-process tenant spec.
+func tenantSpec(ns string) platform.TenantSpec {
+	return platform.TenantSpec{
+		Namespace: ns,
+		PVCNames:  []string{"sales", "stock"},
+		Backup:    true,
+	}
+}
+
+func TestProvisionTenantDeclaresEverything(t *testing.T) {
+	runSystem(t, Config{}, func(p *sim.Proc, sys *System) {
+		bp, err := sys.ProvisionTenant(p, tenantSpec("shop"))
+		if err != nil {
+			t.Errorf("provision: %v", err)
+			return
+		}
+		if bp.Sales == nil || bp.Stock == nil || bp.Shop == nil {
+			t.Error("business process incomplete")
+			return
+		}
+		if groups := sys.Groups("shop"); len(groups) != 1 || len(groups[0].Members()) != 2 {
+			t.Errorf("replication groups = %v", groups)
+		}
+		if got := len(sys.Backup.API.List(p, platform.KindPVC, "shop")); got != 2 {
+			t.Errorf("backup PVCs = %d", got)
+		}
+		// The spec'd world serves load.
+		if _, err := bp.Shop.PlaceOrder(p); err != nil {
+			t.Errorf("order: %v", err)
+		}
+	})
+}
+
+// TestDecommissionReclaimsEverything is the array-level free-list
+// invariant: provisioning then decommissioning a tenant returns both
+// arrays' usage to exactly the pre-provision snapshot — no leaked volumes,
+// journals, snapshots, or blocks — while a second tenant keeps serving.
+func TestDecommissionReclaimsEverything(t *testing.T) {
+	runSystem(t, Config{}, func(p *sim.Proc, sys *System) {
+		survivor, err := sys.ProvisionTenant(p, tenantSpec("keeper"))
+		if err != nil {
+			t.Errorf("provision keeper: %v", err)
+			return
+		}
+		// Quiesce the survivor's drain so the usage snapshot is stable.
+		sys.CatchUp(p, "keeper")
+		mainBefore, backupBefore := sys.Main.Array.Usage(), sys.Backup.Array.Usage()
+
+		bp, err := sys.ProvisionTenant(p, tenantSpec("doomed"))
+		if err != nil {
+			t.Errorf("provision doomed: %v", err)
+			return
+		}
+		if err := bp.Shop.Run(p, 10); err != nil {
+			t.Errorf("orders: %v", err)
+			return
+		}
+		// Leave a snapshot group on the backup twins: decommission must
+		// reclaim COW state too.
+		sys.CatchUp(p, "doomed")
+		if _, err := sys.SnapshotBackup(p, "doomed", "doomed-final"); err != nil {
+			t.Errorf("snapshot: %v", err)
+			return
+		}
+		if u := sys.Main.Array.Usage(); u == mainBefore {
+			t.Error("provisioning changed nothing on the main array?")
+			return
+		}
+
+		if err := sys.DecommissionTenant(p, "doomed"); err != nil {
+			t.Errorf("decommission: %v", err)
+			return
+		}
+		sys.CatchUp(p, "keeper") // re-quiesce before comparing usage
+		if res := sys.TenantResidue("doomed"); len(res) != 0 {
+			t.Errorf("residue: %v", res)
+		}
+		if got := sys.Main.Array.Usage(); got != mainBefore {
+			t.Errorf("main array usage %+v, want pre-provision %+v", got, mainBefore)
+		}
+		if got := sys.Backup.Array.Usage(); got != backupBefore {
+			t.Errorf("backup array usage %+v, want pre-provision %+v", got, backupBefore)
+		}
+		if sys.Decommissioned() != 1 {
+			t.Errorf("decommissioned = %d", sys.Decommissioned())
+		}
+		// The survivor is untouched and still replicating.
+		if _, err := survivor.Shop.PlaceOrder(p); err != nil {
+			t.Errorf("survivor order: %v", err)
+		}
+		if !sys.CatchUp(p, "keeper") {
+			t.Error("survivor drain broken")
+		}
+	})
+}
+
+// TestDecommissionShardedTenantReclaimsShards runs the invariant against a
+// sharded journal: every shard journal and lane path must be reclaimed.
+func TestDecommissionShardedTenantReclaimsShards(t *testing.T) {
+	member := netlinkConfig{Propagation: time.Millisecond, BandwidthBps: 1e8}
+	runSystem(t, Config{
+		Fabric: fabric.Config{Links: []netlinkConfig{member, member}},
+	}, func(p *sim.Proc, sys *System) {
+		before := sys.Main.Array.Usage()
+		spec := tenantSpec("sharded")
+		spec.JournalShards = 2
+		bp, err := sys.ProvisionTenant(p, spec)
+		if err != nil {
+			t.Errorf("provision: %v", err)
+			return
+		}
+		groups := sys.Groups("sharded")
+		if len(groups) != 1 {
+			t.Errorf("groups = %d", len(groups))
+			return
+		}
+		if _, ok := groups[0].(*replication.ShardedGroup); !ok {
+			t.Errorf("engine = %T, want sharded (spec shards ignored)", groups[0])
+			return
+		}
+		if err := bp.Shop.Run(p, 6); err != nil {
+			t.Errorf("orders: %v", err)
+			return
+		}
+		if err := sys.DecommissionTenant(p, "sharded"); err != nil {
+			t.Errorf("decommission: %v", err)
+			return
+		}
+		if got := sys.Main.Array.Usage(); got != before {
+			t.Errorf("main usage %+v, want %+v", got, before)
+		}
+		if ps := sys.TenantLanePaths("sharded"); ps != nil {
+			t.Errorf("lane paths survived decommission: %v", ps)
+		}
+	})
+}
+
+// TestPerLaneQoSClasses pins the per-shard QoS satellite: LaneClasses bind
+// each drain lane's path to its own fabric class, lanes beyond the list
+// fall back to the tenant class, and tenants without LaneClasses keep the
+// old one-class-per-tenant behavior.
+func TestPerLaneQoSClasses(t *testing.T) {
+	member := netlinkConfig{Propagation: time.Millisecond, BandwidthBps: 1e8}
+	runSystem(t, Config{
+		Fabric: fabric.Config{
+			Links: []netlinkConfig{member, member},
+			Classes: []fabric.ClassConfig{
+				{Name: "gold", Weight: 4},
+				{Name: "bulk", Weight: 1},
+			},
+		},
+	}, func(p *sim.Proc, sys *System) {
+		spec := tenantSpec("laned")
+		spec.QoSClass = "bulk"
+		spec.JournalShards = 2
+		spec.LaneClasses = []string{"gold"} // lane 0 gold, lane 1 falls back to bulk
+		bp, err := sys.ProvisionTenant(p, spec)
+		if err != nil {
+			t.Errorf("provision: %v", err)
+			return
+		}
+		if err := bp.Shop.Run(p, 4); err != nil {
+			t.Errorf("orders: %v", err)
+			return
+		}
+		sys.CatchUp(p, "laned")
+		lanes := sys.TenantLanePaths("laned")
+		if len(lanes) != 2 || lanes[0] == nil || lanes[1] == nil {
+			t.Errorf("lane paths = %v", lanes)
+			return
+		}
+		if got := lanes[0].Class(); got != "gold" {
+			t.Errorf("lane 0 class = %q, want gold", got)
+		}
+		if got := lanes[1].Class(); got != "bulk" {
+			t.Errorf("lane 1 class = %q, want tenant fallback bulk", got)
+		}
+
+		// Default unchanged: no LaneClasses -> every lane on the tenant class.
+		plain := tenantSpec("plain")
+		plain.QoSClass = "gold"
+		plain.JournalShards = 2
+		if _, err := sys.ProvisionTenant(p, plain); err != nil {
+			t.Errorf("provision plain: %v", err)
+			return
+		}
+		sys.CatchUp(p, "plain")
+		for i, lp := range sys.TenantLanePaths("plain") {
+			if lp != nil && lp.Class() != "gold" {
+				t.Errorf("plain lane %d class = %q, want gold", i, lp.Class())
+			}
+		}
+	})
+}
+
+// TestDeleteRacesReconcile is the controller-churn satellite: a Tenant spec
+// deleted while provisioning is still reconciling must converge to a full
+// teardown — no orphan replication groups, no array residue.
+func TestDeleteRacesReconcile(t *testing.T) {
+	for _, delay := range []time.Duration{
+		0, 2 * time.Millisecond, 5 * time.Millisecond, 10 * time.Millisecond,
+		20 * time.Millisecond, 40 * time.Millisecond,
+	} {
+		sys := NewSystem(Config{})
+		failed := false
+		sys.Env.Process("race", func(p *sim.Proc) {
+			if err := sys.Main.API.Create(p, &platform.Tenant{
+				Meta: platform.Meta{Kind: platform.KindTenant, Name: "flash"},
+				Spec: tenantSpec("flash"),
+			}); err != nil {
+				failed = true
+				t.Errorf("delay %v: create: %v", delay, err)
+				return
+			}
+			p.Sleep(delay) // let provisioning get partway
+			if err := sys.DecommissionTenant(p, "flash"); err != nil {
+				failed = true
+				t.Errorf("delay %v: decommission: %v", delay, err)
+			}
+		})
+		sys.Env.Run(time.Hour)
+		if failed {
+			t.FailNow()
+		}
+		if res := sys.TenantResidue("flash"); len(res) != 0 {
+			t.Fatalf("delay %v: residue: %v", delay, res)
+		}
+		if groups := sys.Groups("flash"); len(groups) != 0 {
+			t.Fatalf("delay %v: orphan groups: %v", delay, groups)
+		}
+		if u := sys.Main.Array.Usage(); u != (storage.Usage{}) {
+			t.Fatalf("delay %v: main array not clean: %+v", delay, u)
+		}
+		sys.Stop()
+		sys.Env.Run(time.Hour)
+	}
+}
+
+// TestTenantSpecDriftRepaired pins the declarative contract: the controller
+// owns the backup tag of a managed namespace, so imperative label edits are
+// reverted to the spec on the next reconcile.
+func TestTenantSpecDriftRepaired(t *testing.T) {
+	runSystem(t, Config{}, func(p *sim.Proc, sys *System) {
+		if _, err := sys.ProvisionTenant(p, tenantSpec("managed")); err != nil {
+			t.Errorf("provision: %v", err)
+			return
+		}
+		nsKey := platform.ObjectKey{Kind: platform.KindNamespace, Name: "managed"}
+		obj, err := sys.Main.API.Get(p, nsKey)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ns := obj.(*platform.Namespace)
+		delete(ns.Labels, "backup")
+		if err := sys.Main.API.Update(p, ns); err != nil {
+			t.Error(err)
+			return
+		}
+		// The controller must re-tag and replication must reconverge (the
+		// operator may have torn the group down before the repair landed).
+		deadline := p.Now() + 5*time.Second
+		for {
+			obj, err := sys.Main.API.Get(p, nsKey)
+			if err == nil && obj.(*platform.Namespace).Labels["backup"] == "ConsistentCopyToCloud" {
+				break
+			}
+			if p.Now() >= deadline {
+				t.Error("tag drift never repaired")
+				return
+			}
+			p.Sleep(10 * time.Millisecond)
+		}
+		if err := sys.WaitBackupReady(p, "managed", 10*time.Second); err != nil {
+			t.Errorf("replication did not reconverge after drift: %v", err)
+			return
+		}
+		if groups := sys.Groups("managed"); len(groups) != 1 {
+			t.Errorf("groups after drift = %d", len(groups))
+		}
+	})
+}
+
+// TestWaitTenantReadySurfacesFailure pins the Failed phase: a tenant whose
+// spec can never converge (backup requested, no claims to replicate)
+// reports Failed with the operator's message rather than hanging.
+func TestWaitTenantReadySurfacesFailure(t *testing.T) {
+	runSystem(t, Config{}, func(p *sim.Proc, sys *System) {
+		spec := platform.TenantSpec{Namespace: "empty", Backup: true}
+		if _, err := sys.ProvisionTenant(p, spec); err == nil {
+			t.Error("backup of an empty namespace reported Ready")
+		} else if !strings.Contains(err.Error(), "not ready") && !strings.Contains(err.Error(), "failed") {
+			t.Errorf("unexpected error: %v", err)
+		}
+	})
+}
+
+// TestDataOnlyProfileSkipsDatabases pins the workload-profile knob: a
+// "data-only" tenant gets provisioned, replicated claims but no databases
+// or shop attached, even when the claims are named sales/stock.
+func TestDataOnlyProfileSkipsDatabases(t *testing.T) {
+	runSystem(t, Config{}, func(p *sim.Proc, sys *System) {
+		spec := tenantSpec("raw")
+		spec.Profile = "data-only"
+		bp, err := sys.ProvisionTenant(p, spec)
+		if err != nil {
+			t.Errorf("provision: %v", err)
+			return
+		}
+		if bp.Sales != nil || bp.Stock != nil || bp.Shop != nil {
+			t.Error("data-only profile opened databases")
+		}
+		if groups := sys.Groups("raw"); len(groups) != 1 {
+			t.Errorf("replication groups = %d", len(groups))
+		}
+	})
+}
+
+// TestDecommissionWithPrefixSiblingNamespace pins residue attribution: a
+// managed namespace that extends the decommissioned one ("shop-2" vs
+// "shop") must not be counted as the shorter tenant's residue, or the
+// decommission would wait on the sibling's healthy volumes forever.
+func TestDecommissionWithPrefixSiblingNamespace(t *testing.T) {
+	runSystem(t, Config{}, func(p *sim.Proc, sys *System) {
+		if _, err := sys.ProvisionTenant(p, tenantSpec("shop")); err != nil {
+			t.Errorf("provision shop: %v", err)
+			return
+		}
+		sibling, err := sys.ProvisionTenant(p, tenantSpec("shop-2"))
+		if err != nil {
+			t.Errorf("provision shop-2: %v", err)
+			return
+		}
+		if err := sys.DecommissionTenant(p, "shop"); err != nil {
+			t.Errorf("decommission shop blocked by sibling: %v", err)
+			return
+		}
+		if res := sys.TenantResidue("shop"); len(res) != 0 {
+			t.Errorf("shop residue: %v", res)
+		}
+		// The sibling is intact and still replicating.
+		if _, err := sibling.Shop.PlaceOrder(p); err != nil {
+			t.Errorf("sibling order: %v", err)
+		}
+		if !sys.CatchUp(p, "shop-2") {
+			t.Error("sibling drain broken")
+		}
+		if res := sys.TenantResidue("shop-2"); len(res) == 0 {
+			t.Error("sibling residue empty — its volumes vanished?")
+		}
+	})
+}
+
+// TestEnableBackupUnknownNamespaceFailsFast pins the adoption guard: a
+// typo'd namespace returns not-found immediately instead of creating an
+// empty managed tenant and timing out.
+func TestEnableBackupUnknownNamespaceFailsFast(t *testing.T) {
+	runSystem(t, Config{}, func(p *sim.Proc, sys *System) {
+		start := p.Now()
+		err := sys.EnableBackup(p, "no-such-namespace")
+		if err == nil {
+			t.Error("enable backup of unknown namespace succeeded")
+			return
+		}
+		if p.Now()-start > time.Second {
+			t.Errorf("failure took %v — burned the provision timeout", p.Now()-start)
+		}
+		if _, err := sys.Main.API.Get(p, tenantKey("no-such-namespace")); err == nil {
+			t.Error("a Tenant object was left behind")
+		}
+	})
+}
+
+// TestDecommissionWithImperativePrefixSibling extends the sibling test to
+// an UNMANAGED namespace: "shop-2" provisioned via the raw platform API
+// (no Tenant spec) must not block decommissioning the managed "shop".
+func TestDecommissionWithImperativePrefixSibling(t *testing.T) {
+	runSystem(t, Config{}, func(p *sim.Proc, sys *System) {
+		if _, err := sys.ProvisionTenant(p, tenantSpec("shop")); err != nil {
+			t.Errorf("provision shop: %v", err)
+			return
+		}
+		// Imperative sibling: namespace + bound claim, no Tenant object.
+		if err := sys.Main.API.Create(p, &platform.Namespace{
+			Meta: platform.Meta{Kind: platform.KindNamespace, Name: "shop-2"},
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := sys.Main.API.Create(p, &platform.PersistentVolumeClaim{
+			Meta: platform.Meta{Kind: platform.KindPVC, Namespace: "shop-2", Name: "data"},
+			Spec: platform.PVCSpec{StorageClassName: StorageClassName, SizeBlocks: 64},
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(50 * time.Millisecond) // let the provisioner bind it
+		if err := sys.DecommissionTenant(p, "shop"); err != nil {
+			t.Errorf("decommission blocked by imperative sibling: %v", err)
+			return
+		}
+		if _, err := sys.Main.Array.Volume("pvc-shop-2-data"); err != nil {
+			t.Errorf("sibling volume vanished: %v", err)
+		}
+	})
+}

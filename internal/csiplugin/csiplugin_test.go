@@ -446,3 +446,63 @@ func TestReplicationPluginShardedJournal(t *testing.T) {
 		}
 	}
 }
+
+// TestProvisionerUnwindsDeletedClaim pins the reclaim side of dynamic
+// provisioning: deleting a bound PVC must delete the PV object and return
+// the array volume (and its snapshots) to the free lists; a volume still
+// attached to a journal is retried until replication teardown detaches it.
+func TestProvisionerUnwindsDeletedClaim(t *testing.T) {
+	f := newTwoSites(t)
+	f.createClaims(t, "shop", "sales", "stock")
+	before := f.sites.MainArray.Usage()
+	if before.Volumes != 2 {
+		t.Fatalf("volumes before = %d", before.Volumes)
+	}
+	// A snapshot on the volume must not block the unwind.
+	if _, err := f.sites.MainArray.CreateSnapshot("snap-sales", VolumeIDForClaim("shop", "sales")); err != nil {
+		t.Fatal(err)
+	}
+	// Attach the stock volume to a journal: its unwind must stall (retry)
+	// until the journal releases it.
+	if _, err := f.sites.MainArray.CreateConsistencyGroup("jnl-hold",
+		[]storage.VolumeID{VolumeIDForClaim("shop", "stock")}); err != nil {
+		t.Fatal(err)
+	}
+	f.env.Process("delete", func(p *sim.Proc) {
+		for _, name := range []string{"sales", "stock"} {
+			if err := f.sites.MainAPI.Delete(p, platform.ObjectKey{Kind: platform.KindPVC, Namespace: "shop", Name: name}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	f.env.Run(f.env.Now() + time.Second)
+	if _, err := f.sites.MainArray.Volume(VolumeIDForClaim("shop", "sales")); err == nil {
+		t.Fatal("sales volume not reclaimed after claim deletion")
+	}
+	if _, err := f.sites.MainArray.Volume(VolumeIDForClaim("shop", "stock")); err != nil {
+		t.Fatal("attached stock volume deleted while journaled")
+	}
+	// Release the journal: the provisioner's backoff retry finishes the job.
+	if err := f.sites.MainArray.DetachJournal(VolumeIDForClaim("shop", "stock")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.sites.MainArray.DeleteJournal("jnl-hold"); err != nil {
+		t.Fatal(err)
+	}
+	f.env.Run(f.env.Now() + 5*time.Second)
+	if res := f.sites.MainArray.Residue("pvc-shop-"); len(res) != 0 {
+		t.Fatalf("residue after unwind: %v", res)
+	}
+	f.env.Process("check-pv", func(p *sim.Proc) {
+		for _, name := range []string{"sales", "stock"} {
+			if _, err := f.sites.MainAPI.Get(p, platform.ObjectKey{Kind: platform.KindPV, Name: PVNameForClaim("shop", name)}); err == nil {
+				t.Errorf("PV for %s survived the unwind", name)
+			}
+		}
+	})
+	f.env.Run(0)
+	u := f.sites.MainArray.Usage()
+	if u.Volumes != 0 || u.Snapshots != 0 || u.Journals != 0 || u.StoredBlocks != 0 {
+		t.Fatalf("array not clean after unwind: %+v", u)
+	}
+}

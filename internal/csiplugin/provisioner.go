@@ -75,7 +75,9 @@ func PVNameForClaim(namespace, name string) string {
 func (pr *Provisioner) reconcile(p *sim.Proc, key platform.ObjectKey) error {
 	obj, err := pr.api.Get(p, key)
 	if errors.Is(err, platform.ErrNotFound) {
-		return nil // claim deleted; nothing to unwind in this demo
+		// Claim deleted: unwind its PV and array volume so decommissioned
+		// tenants return their capacity to the array free lists.
+		return pr.unprovision(p, key)
 	}
 	if err != nil {
 		return err
@@ -116,6 +118,37 @@ func (pr *Provisioner) reconcile(p *sim.Proc, key platform.ObjectKey) error {
 		return err
 	}
 	pr.provisioned++
+	return nil
+}
+
+// unprovision reverses provisioning for a deleted claim: delete the array
+// volume (and its snapshots) and the bound PV object. A volume still
+// attached to a journal makes the reconcile retry — the replication
+// teardown must detach it first, and the controller's backoff converges
+// once it has.
+func (pr *Provisioner) unprovision(p *sim.Proc, key platform.ObjectKey) error {
+	pvKey := platform.ObjectKey{Kind: platform.KindPV, Name: PVNameForClaim(key.Namespace, key.Name)}
+	pvObj, err := pr.api.Get(p, pvKey)
+	if errors.Is(err, platform.ErrNotFound) {
+		return nil // never provisioned, or already unwound
+	}
+	if err != nil {
+		return err
+	}
+	pv := pvObj.(*platform.PersistentVolume)
+	if array, ok := pr.arrays[pv.Spec.ArrayName]; ok {
+		if _, err := array.Volume(pv.Spec.VolumeID); err == nil {
+			if err := array.DeleteVolumeSnapshots(pv.Spec.VolumeID); err != nil {
+				return err
+			}
+			if err := array.DeleteVolume(pv.Spec.VolumeID); err != nil {
+				return err // attached to a journal: retry until detached
+			}
+		}
+	}
+	if err := pr.api.Delete(p, pvKey); err != nil && !errors.Is(err, platform.ErrNotFound) {
+		return err
+	}
 	return nil
 }
 

@@ -403,3 +403,37 @@ func TestE11FleetAllTenantsConsistentAfterMixedRun(t *testing.T) {
 		t.Fatalf("failover tenants should cut order volume: %+v", res)
 	}
 }
+
+func TestE14ElasticityJoinsLeavesAndReclaims(t *testing.T) {
+	res, err := E14Elasticity(1, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified != res.Tenants+res.Joined || res.Collapsed != 0 {
+		t.Fatalf("verdicts wrong: %+v", res)
+	}
+	if res.Joined != 2 || res.Left != 1 {
+		t.Fatalf("churn degenerate: %+v", res)
+	}
+	// Joins must reach Ready while the fleet serves load — and one of them
+	// must have been in flight while a site failover ran.
+	if res.JoinReadyMax <= 0 {
+		t.Fatalf("no join time-to-ready measured: %+v", res)
+	}
+	if !res.JoinDuringFailover {
+		t.Fatalf("no join raced a failover: %+v", res)
+	}
+	// The leave's reclamation invariant: zero residue on both arrays.
+	if !res.ReclaimOK || res.ResidueLeaks != 0 {
+		t.Fatalf("decommission leaked: %+v", res)
+	}
+	// Victim disturbance stays bounded: churn may cost the bystanders some
+	// RPO, but not an order of magnitude over the steady baseline.
+	if res.VictimMaxRPOBase <= 0 {
+		t.Fatalf("no baseline victim RPO sampled: %+v", res)
+	}
+	if res.VictimMaxRPOChurn > 10*res.VictimMaxRPOBase {
+		t.Fatalf("churn disturbed victims: %v -> %v", res.VictimMaxRPOBase, res.VictimMaxRPOChurn)
+	}
+	t.Log("\n" + E14Table(res).String())
+}

@@ -1,12 +1,19 @@
 // Package fleet scales the two-site demonstration system of internal/core
 // from one business process to many tenant namespaces sharing one simulated
 // infrastructure: one main array, one backup array, one inter-site link, one
-// operator. Each tenant gets its own namespace, its own sales/stock
-// databases, its own shared-journal consistency group, and its own ADC
-// drain. The fleet then runs a mixed workload — OLTP commits on every
-// tenant, snapshot analytics on a subset, and a mid-run site failover for
+// operator. Each tenant is declared as a TenantSpec and provisioned by the
+// tenant controller (core.System.ProvisionTenant): its own namespace, its
+// own sales/stock databases, its own shared-journal consistency group, its
+// own ADC drain. The fleet then runs a mixed workload — OLTP commits on
+// every tenant, snapshot analytics on a subset, a mid-run site failover for
 // another subset — and verifies per-tenant cross-volume consistency, which
 // is the paper's central claim pushed to production-fleet scale (E11).
+//
+// On top of the steady roster the fleet runs churn (E14 elasticity): Joins
+// provision additional tenants mid-run — initial copy under everyone else's
+// OLTP load — and Leaves decommission roster tenants mid-run, verifying
+// their volumes and journal shards return to the array free lists while the
+// survivors' consistency cuts stay untouched.
 package fleet
 
 import (
@@ -16,7 +23,6 @@ import (
 	"repro/internal/analytics"
 	"repro/internal/consistency"
 	"repro/internal/core"
-	"repro/internal/operator"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -50,9 +56,45 @@ type Config struct {
 	// journal across that many drain lanes (overrides System.JournalShards).
 	// 0 leaves System.JournalShards as configured.
 	JournalShards int
+	// Joins schedules extra tenants provisioned mid-run: each join submits
+	// a TenantSpec at its After time and lives a full tenant life from
+	// there. Joined tenants are appended to the roster after the initial
+	// set, named in index order.
+	Joins []JoinSpec
+	// Leaves schedules initial-roster tenants that decommission mid-run
+	// after completing (and verifying) their workload. Leaving tenants are
+	// excluded from the failover/analytics roles.
+	Leaves []LeaveSpec
+	// RPOSample, when > 0, samples every provisioned tenant's RPO on this
+	// period and records the worst observation on Tenant.MaxRPO — the
+	// victim-disturbance metric the elasticity experiment compares.
+	RPOSample time.Duration
 	// System configures the shared two-site system (including the
 	// inter-site fabric's member links and QoS classes).
 	System core.Config
+}
+
+// JoinSpec is one mid-run tenant join.
+type JoinSpec struct {
+	// After is the virtual time the spec is submitted.
+	After time.Duration
+	// Orders overrides OrdersPerTenant for this tenant (0 = default).
+	Orders int
+	// JournalShards overrides the fleet's shard count (0 = default).
+	JournalShards int
+	// Class is the tenant's fabric QoS class ("" = ClassOf / default).
+	Class string
+	// LaneClasses optionally names a QoS class per drain lane.
+	LaneClasses []string
+}
+
+// LeaveSpec is one mid-run tenant leave.
+type LeaveSpec struct {
+	// Tenant is the initial-roster index of the tenant that leaves.
+	Tenant int
+	// After is the earliest virtual time the leave may begin; the tenant
+	// finishes and verifies its workload first, then waits for this.
+	After time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -84,18 +126,38 @@ type Tenant struct {
 	BP        *core.BusinessProcess
 
 	// Roles in the mixed workload.
-	Failover  bool   // hit by the mid-run site failover
-	Analytics bool   // runs snapshot analytics mid-run
-	Class     string // fabric QoS class the tenant's drain rides
+	Failover    bool     // hit by the mid-run site failover
+	Analytics   bool     // runs snapshot analytics mid-run
+	Join        bool     // provisioned mid-run (E14 elasticity)
+	Leave       bool     // decommissions mid-run (E14 elasticity)
+	Class       string   // fabric QoS class the tenant's drain rides
+	LaneClasses []string // optional per-drain-lane QoS classes
+	Shards      int      // per-tenant journal shards (0 = fleet default)
+	Orders      int      // per-tenant order count (0 = OrdersPerTenant)
+	JoinAfter   time.Duration
+	LeaveAfter  time.Duration
 
 	// Outcomes.
-	TimeToReady     time.Duration
+	TimeToReady     time.Duration // spec submitted -> tenant Ready
 	OrdersPlaced    int64
 	AnalyticsOrders int  // orders the mid-run snapshot analytics saw (-1 = none ran)
 	Verified        bool // final consistency verification ran and passed
 	Report          consistency.Report
 	RecoveryTime    time.Duration // failover tenants: simulated downtime
+	JoinedAt        time.Duration // join tenants: when Ready was reached
+	FailoverAt      time.Duration // failover tenants: when the site was cut
+	Left            bool          // leave tenants: decommission completed
+	LeftAt          time.Duration // leave tenants: when reclamation finished
+	ReclaimOK       bool          // leave tenants: zero residue after leaving
+	MaxRPO          time.Duration // worst sampled RPO (RPOSample > 0)
 	Err             error
+
+	// active marks the span the RPO sampler observes: from Ready until the
+	// tenant fails over, leaves, or finishes.
+	active bool
+	// fabricCaptured marks that captureFabric already ran (leavers capture
+	// before their paths are reclaimed; Run must not overwrite that).
+	fabricCaptured bool
 
 	// Fabric outcomes (zero when the tenant never drained): what this
 	// tenant's ADC traffic experienced at the shared inter-site fabric.
@@ -109,39 +171,79 @@ type Fleet struct {
 	Sys     *core.System
 	Cfg     Config
 	Tenants []*Tenant
+
+	running int // tenant processes still alive (the RPO sampler's gate)
 }
 
-// New builds the shared system and the tenant roster. Tenant roles are
-// assigned round-robin so failover and analytics tenants interleave with
-// plain OLTP tenants deterministically.
+// New builds the shared system and the tenant roster — the Config's scalar
+// fields are the initial spec set, Joins append churn tenants after it.
+// Tenant roles are assigned round-robin so failover and analytics tenants
+// interleave with plain OLTP tenants deterministically; leaving tenants
+// take no other role.
 func New(cfg Config) *Fleet {
 	cfg = cfg.withDefaults()
-	// Per-tenant QoS: resolve class assignments before the system is built
-	// so the replication plugin hands each namespace a path in its class.
-	classByNS := make(map[string]string, cfg.Tenants)
-	if cfg.ClassOf != nil {
-		for i := 0; i < cfg.Tenants; i++ {
-			classByNS[fmt.Sprintf("tenant-%03d", i)] = cfg.ClassOf(i)
-		}
-		cfg.System.PathClass = func(ns string) string { return classByNS[ns] }
-	}
-	if cfg.JournalShards > 0 {
-		cfg.System.JournalShards = cfg.JournalShards
+	if cfg.ReadyTimeout > cfg.System.ProvisionTimeout {
+		cfg.System.ProvisionTimeout = cfg.ReadyTimeout
 	}
 	f := &Fleet{Sys: core.NewSystem(cfg.System), Cfg: cfg}
-	nFail := max(1, int(float64(cfg.Tenants)*cfg.FailoverFraction))
-	nAna := max(1, int(float64(cfg.Tenants)*cfg.AnalyticsFraction))
+	leaves := make(map[int]LeaveSpec, len(cfg.Leaves))
+	for _, l := range cfg.Leaves {
+		if l.Tenant >= 0 && l.Tenant < cfg.Tenants {
+			leaves[l.Tenant] = l
+		}
+	}
 	for i := 0; i < cfg.Tenants; i++ {
 		t := &Tenant{
 			Namespace:       fmt.Sprintf("tenant-%03d", i),
 			Index:           i,
 			AnalyticsOrders: -1,
-			Class:           classByNS[fmt.Sprintf("tenant-%03d", i)],
+			Shards:          cfg.JournalShards,
 		}
-		// Interleave roles: failover tenants from the front, analytics from
-		// the back, so both mix with plain tenants in namespace order.
-		t.Failover = i < nFail
-		t.Analytics = !t.Failover && i >= cfg.Tenants-nAna
+		if cfg.ClassOf != nil {
+			t.Class = cfg.ClassOf(i)
+		}
+		if l, ok := leaves[i]; ok {
+			t.Leave, t.LeaveAfter = true, l.After
+		}
+		f.Tenants = append(f.Tenants, t)
+	}
+	// Interleave roles: failover tenants from the front, analytics from the
+	// back, so both mix with plain tenants in namespace order. Leavers are
+	// skipped — a decommission must reclaim a cleanly-drained group, and
+	// analytics snapshots are verified before leaving anyway.
+	nFail := max(1, int(float64(cfg.Tenants)*cfg.FailoverFraction))
+	nAna := max(1, int(float64(cfg.Tenants)*cfg.AnalyticsFraction))
+	for i, assigned := 0, 0; i < cfg.Tenants && assigned < nFail; i++ {
+		if t := f.Tenants[i]; !t.Leave {
+			t.Failover = true
+			assigned++
+		}
+	}
+	for i, assigned := cfg.Tenants-1, 0; i >= 0 && assigned < nAna; i-- {
+		if t := f.Tenants[i]; !t.Leave && !t.Failover {
+			t.Analytics = true
+			assigned++
+		}
+	}
+	for j, js := range cfg.Joins {
+		idx := cfg.Tenants + j
+		t := &Tenant{
+			Namespace:       fmt.Sprintf("tenant-%03d", idx),
+			Index:           idx,
+			AnalyticsOrders: -1,
+			Join:            true,
+			JoinAfter:       js.After,
+			Orders:          js.Orders,
+			Class:           js.Class,
+			LaneClasses:     js.LaneClasses,
+			Shards:          cfg.JournalShards,
+		}
+		if js.JournalShards > 0 {
+			t.Shards = js.JournalShards
+		}
+		if t.Class == "" && cfg.ClassOf != nil {
+			t.Class = cfg.ClassOf(idx)
+		}
 		f.Tenants = append(f.Tenants, t)
 	}
 	return f
@@ -151,10 +253,27 @@ func New(cfg Config) *Fleet {
 // returning the first tenant error (each tenant's own error is also kept on
 // the Tenant). It owns the environment: callers must not call Env.Run.
 func (f *Fleet) Run() error {
+	f.running = len(f.Tenants)
 	for _, t := range f.Tenants {
 		t := t
 		f.Sys.Env.Process("tenant:"+t.Namespace, func(p *sim.Proc) {
+			defer func() { t.active = false; f.running-- }()
 			t.Err = f.runTenant(p, t)
+		})
+	}
+	if f.Cfg.RPOSample > 0 {
+		f.Sys.Env.Process("rpo-sampler", func(p *sim.Proc) {
+			for f.running > 0 {
+				p.Sleep(f.Cfg.RPOSample)
+				for _, t := range f.Tenants {
+					if !t.active {
+						continue
+					}
+					if r := f.Sys.RPO(t.Namespace); r > t.MaxRPO {
+						t.MaxRPO = r
+					}
+				}
+			}
 		})
 	}
 	f.Sys.Env.Run(f.Cfg.Horizon)
@@ -167,22 +286,8 @@ func (f *Fleet) Run() error {
 		f.Sys.Env.Run(0)
 	}
 	for _, t := range f.Tenants {
-		if tp := f.Sys.TenantPath(t.Namespace); tp != nil {
-			t.FabricBytes = tp.Bytes()
-			t.FabricQueueDelay = tp.MeanQueueDelay()
-			t.FabricDrops = tp.DropRetries()
-		}
-		// Sharded tenants drain over per-lane paths instead; aggregate them
-		// (bytes and drops sum, queue delay reports the worst lane mean).
-		for _, lp := range f.Sys.TenantLanePaths(t.Namespace) {
-			if lp == nil {
-				continue
-			}
-			t.FabricBytes += lp.Bytes()
-			t.FabricDrops += lp.DropRetries()
-			if d := lp.MeanQueueDelay(); d > t.FabricQueueDelay {
-				t.FabricQueueDelay = d
-			}
+		if !t.fabricCaptured {
+			f.captureFabric(t)
 		}
 		if t.Err != nil {
 			return fmt.Errorf("fleet: %s: %w", t.Namespace, t.Err)
@@ -194,26 +299,72 @@ func (f *Fleet) Run() error {
 	return nil
 }
 
-// runTenant is one tenant's full life: provision, enable backup, OLTP with
-// mid-run analytics or failover, and a final consistency verification.
-func (f *Fleet) runTenant(p *sim.Proc, t *Tenant) error {
-	bp, err := f.Sys.DeployBusinessProcess(p, t.Namespace)
-	if err != nil {
-		return fmt.Errorf("deploy: %w", err)
+// captureFabric records the tenant's view of the shared inter-site fabric.
+// Leavers capture before their paths are reclaimed; everyone else after the
+// run.
+func (f *Fleet) captureFabric(t *Tenant) {
+	t.fabricCaptured = true
+	t.FabricBytes, t.FabricQueueDelay, t.FabricDrops = 0, 0, 0
+	if tp := f.Sys.TenantPath(t.Namespace); tp != nil {
+		t.FabricBytes = tp.Bytes()
+		t.FabricQueueDelay = tp.MeanQueueDelay()
+		t.FabricDrops = tp.DropRetries()
 	}
+	// Sharded tenants drain over per-lane paths instead; aggregate them
+	// (bytes and drops sum, queue delay reports the worst lane mean).
+	for _, lp := range f.Sys.TenantLanePaths(t.Namespace) {
+		if lp == nil {
+			continue
+		}
+		t.FabricBytes += lp.Bytes()
+		t.FabricDrops += lp.DropRetries()
+		if d := lp.MeanQueueDelay(); d > t.FabricQueueDelay {
+			t.FabricQueueDelay = d
+		}
+	}
+}
+
+// orders returns the tenant's OLTP load.
+func (f *Fleet) orders(t *Tenant) int {
+	if t.Orders > 0 {
+		return t.Orders
+	}
+	return f.Cfg.OrdersPerTenant
+}
+
+// runTenant is one tenant's full life: provision declaratively (join
+// tenants first wait for their scheduled time), OLTP with mid-run analytics
+// or failover, a final consistency verification — and, for leavers, a full
+// decommission with the reclamation invariant checked.
+func (f *Fleet) runTenant(p *sim.Proc, t *Tenant) error {
+	if t.Join && t.JoinAfter > p.Now() {
+		p.Sleep(t.JoinAfter - p.Now())
+	}
+	start := p.Now()
+	bp, err := f.Sys.ProvisionTenant(p, platform.TenantSpec{
+		Namespace:     t.Namespace,
+		PVCNames:      []string{"sales", "stock"},
+		Backup:        true,
+		QoSClass:      t.Class,
+		LaneClasses:   t.LaneClasses,
+		JournalShards: t.Shards,
+		Profile:       "oltp-external", // the fleet attaches its own seeded shop
+	})
+	if err != nil {
+		return fmt.Errorf("provision: %w", err)
+	}
+	t.TimeToReady = p.Now() - start
 	t.BP = bp
+	if t.Join {
+		t.JoinedAt = p.Now()
+	}
+	t.active = true
 	wcfg := f.Cfg.Workload
 	wcfg.Seed = f.Cfg.System.Seed + int64(t.Index)*7919
 	bp.Shop = workload.NewShop(f.Sys.Env, bp.Sales, bp.Stock, wcfg)
 
-	start := p.Now()
-	if err := f.enableBackup(p, t.Namespace); err != nil {
-		return fmt.Errorf("enable backup: %w", err)
-	}
-	t.TimeToReady = p.Now() - start
-
 	// Phase 1: first half of the OLTP load on every tenant concurrently.
-	half := f.Cfg.OrdersPerTenant / 2
+	half := f.orders(t) / 2
 	if err := bp.Shop.Run(p, half); err != nil {
 		return fmt.Errorf("phase 1: %w", err)
 	}
@@ -232,6 +383,8 @@ func (f *Fleet) runTenant(p *sim.Proc, t *Tenant) error {
 	if t.Failover {
 		// Mid-run disaster: NO catch-up — whatever is in flight is lost, and
 		// the recovered image must still be a consistent cut.
+		t.FailoverAt = p.Now()
+		t.active = false
 		fo, err := f.Sys.Failover(p, t.Namespace)
 		if err != nil {
 			return fmt.Errorf("failover: %w", err)
@@ -247,7 +400,7 @@ func (f *Fleet) runTenant(p *sim.Proc, t *Tenant) error {
 	}
 
 	// Phase 2: remaining load, then drain and verify the backup image.
-	if err := bp.Shop.Run(p, f.Cfg.OrdersPerTenant-half); err != nil {
+	if err := bp.Shop.Run(p, f.orders(t)-half); err != nil {
 		return fmt.Errorf("phase 2: %w", err)
 	}
 	t.OrdersPlaced = bp.Shop.Completed.Value()
@@ -259,26 +412,31 @@ func (f *Fleet) runTenant(p *sim.Proc, t *Tenant) error {
 	if !t.Verified {
 		return fmt.Errorf("backup image inconsistent: %v", t.Report)
 	}
-	return nil
-}
 
-// enableBackup tags the namespace and waits Ready with the fleet's timeout
-// (core.EnableBackup's fixed 30s is too tight when every tenant configures
-// replication at once).
-func (f *Fleet) enableBackup(p *sim.Proc, namespace string) error {
-	obj, err := f.Sys.Main.API.Get(p, platform.ObjectKey{Kind: platform.KindNamespace, Name: namespace})
-	if err != nil {
-		return err
+	if t.Leave {
+		// Mid-run leave: the verified tenant drains, decommissions, and must
+		// leave zero residue on either array while the survivors keep
+		// serving load.
+		if t.LeaveAfter > p.Now() {
+			p.Sleep(t.LeaveAfter - p.Now())
+		}
+		t.active = false
+		// Drain before capturing so the leave's own final backlog bytes are
+		// counted (decommission's drain is then a no-op), then capture
+		// before teardown reclaims the paths.
+		f.Sys.CatchUp(p, t.Namespace)
+		f.captureFabric(t)
+		if err := f.Sys.DecommissionTenant(p, t.Namespace); err != nil {
+			return fmt.Errorf("decommission: %w", err)
+		}
+		t.LeftAt = p.Now()
+		t.Left = true
+		if res := f.Sys.TenantResidue(t.Namespace); len(res) > 0 {
+			return fmt.Errorf("decommission left residue: %v", res)
+		}
+		t.ReclaimOK = true
 	}
-	ns := obj.(*platform.Namespace)
-	if ns.Labels == nil {
-		ns.Labels = map[string]string{}
-	}
-	ns.Labels[operator.Tag] = operator.TagValue
-	if err := f.Sys.Main.API.Update(p, ns); err != nil {
-		return err
-	}
-	return f.Sys.WaitBackupReady(p, namespace, f.Cfg.ReadyTimeout)
+	return nil
 }
 
 // verifySnapshot group-snapshots the tenant's backup volumes, opens
@@ -303,12 +461,17 @@ func (f *Fleet) verifySnapshot(p *sim.Proc, t *Tenant, tag string) error {
 // Totals aggregates fleet-wide outcome counters.
 type Totals struct {
 	Tenants, FailedOver, Analytics int
+	Joined, Left                   int // E14 churn outcomes
+	ReclaimFailures                int // leavers that left residue behind
 	Verified, Collapsed            int
 	OrdersPlaced                   int64
 	LostTxns                       int // replication lag cut off by failovers
 	MaxTimeToReady                 time.Duration
 	MeanTimeToReady                time.Duration
+	MeanJoinReady                  time.Duration // over joined tenants
+	MaxJoinReady                   time.Duration
 	MeanRecovery                   time.Duration // over failover tenants
+	MaxTenantRPO                   time.Duration // worst sampled RPO (RPOSample > 0)
 	FabricBytes                    int64         // ADC bytes through the shared fabric
 	FabricDrops                    int64         // ingress admission drops (retried)
 	MaxFabricQueueDelay            time.Duration // worst per-tenant mean queueing delay
@@ -317,7 +480,7 @@ type Totals struct {
 // Totals sums the per-tenant outcomes.
 func (f *Fleet) Totals() Totals {
 	var tot Totals
-	var readySum, recoverySum time.Duration
+	var readySum, recoverySum, joinReadySum time.Duration
 	for _, t := range f.Tenants {
 		tot.Tenants++
 		tot.OrdersPlaced += t.OrdersPlaced
@@ -329,6 +492,19 @@ func (f *Fleet) Totals() Totals {
 		if t.Analytics {
 			tot.Analytics++
 		}
+		if t.Join {
+			tot.Joined++
+			joinReadySum += t.TimeToReady
+			if t.TimeToReady > tot.MaxJoinReady {
+				tot.MaxJoinReady = t.TimeToReady
+			}
+		}
+		if t.Left {
+			tot.Left++
+			if !t.ReclaimOK {
+				tot.ReclaimFailures++
+			}
+		}
 		if t.Verified {
 			tot.Verified++
 		}
@@ -339,6 +515,9 @@ func (f *Fleet) Totals() Totals {
 		if t.TimeToReady > tot.MaxTimeToReady {
 			tot.MaxTimeToReady = t.TimeToReady
 		}
+		if t.MaxRPO > tot.MaxTenantRPO {
+			tot.MaxTenantRPO = t.MaxRPO
+		}
 		tot.FabricBytes += t.FabricBytes
 		tot.FabricDrops += t.FabricDrops
 		if t.FabricQueueDelay > tot.MaxFabricQueueDelay {
@@ -347,6 +526,9 @@ func (f *Fleet) Totals() Totals {
 	}
 	if tot.Tenants > 0 {
 		tot.MeanTimeToReady = readySum / time.Duration(tot.Tenants)
+	}
+	if tot.Joined > 0 {
+		tot.MeanJoinReady = joinReadySum / time.Duration(tot.Joined)
 	}
 	if tot.FailedOver > 0 {
 		tot.MeanRecovery = recoverySum / time.Duration(tot.FailedOver)

@@ -187,3 +187,73 @@ func TestFleetShardedJournals(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetChurnJoinsAndLeaves drives the elasticity path directly: a join
+// provisioned mid-run under the fleet's load, a leave that decommissions a
+// verified tenant, and the reclamation invariant on both.
+func TestFleetChurnJoinsAndLeaves(t *testing.T) {
+	cfg := testConfig(8, 6)
+	cfg.RPOSample = 5 * time.Millisecond
+	cfg.Joins = []JoinSpec{{After: 30 * time.Millisecond}}
+	cfg.Leaves = []LeaveSpec{{Tenant: 3, After: 60 * time.Millisecond}}
+	f := New(cfg)
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tot := f.Totals()
+	if tot.Tenants != 9 || tot.Verified != 9 || tot.Collapsed != 0 {
+		t.Fatalf("verdicts: %+v", tot)
+	}
+	if tot.Joined != 1 || tot.Left != 1 || tot.ReclaimFailures != 0 {
+		t.Fatalf("churn outcomes: %+v", tot)
+	}
+	if tot.MaxJoinReady <= 0 {
+		t.Fatalf("join time-to-ready not measured: %+v", tot)
+	}
+	leaver := f.Tenants[3]
+	if !leaver.Left || !leaver.ReclaimOK || leaver.Failover || leaver.Analytics {
+		t.Fatalf("leaver state: %+v", leaver)
+	}
+	if res := f.Sys.TenantResidue(leaver.Namespace); len(res) != 0 {
+		t.Fatalf("leaver residue: %v", res)
+	}
+	joiner := f.Tenants[8]
+	if !joiner.Join || joiner.JoinedAt < cfg.Joins[0].After {
+		t.Fatalf("joiner state: %+v", joiner)
+	}
+	if joiner.FabricBytes == 0 {
+		t.Fatal("joiner moved no bytes through the fabric")
+	}
+	if tot.MaxTenantRPO <= 0 {
+		t.Fatal("RPO sampler recorded nothing")
+	}
+}
+
+// TestFleetChurnDeterministicAcrossSeeds pins determinism under churn: the
+// same seed reproduces the identical run (orders, virtual time, join
+// readiness), and different seeds still converge to all-verified.
+func TestFleetChurnDeterministicAcrossSeeds(t *testing.T) {
+	run := func(seed int64) (int64, time.Duration, time.Duration) {
+		cfg := testConfig(6, 4)
+		cfg.System.Seed = seed
+		cfg.RPOSample = 5 * time.Millisecond
+		cfg.Joins = []JoinSpec{{After: 20 * time.Millisecond}, {After: 50 * time.Millisecond}}
+		cfg.Leaves = []LeaveSpec{{Tenant: 2, After: 40 * time.Millisecond}}
+		f := New(cfg)
+		if err := f.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tot := f.Totals()
+		if tot.Verified != tot.Tenants || tot.Collapsed != 0 || tot.ReclaimFailures != 0 {
+			t.Fatalf("seed %d verdicts: %+v", seed, tot)
+		}
+		return tot.OrdersPlaced, f.Sys.Env.Now(), tot.MaxJoinReady
+	}
+	for _, seed := range []int64{7, 99} {
+		o1, t1, j1 := run(seed)
+		o2, t2, j2 := run(seed)
+		if o1 != o2 || t1 != t2 || j1 != j2 {
+			t.Fatalf("seed %d nondeterministic: (%d,%v,%v) vs (%d,%v,%v)", seed, o1, t1, j1, o2, t2, j2)
+		}
+	}
+}

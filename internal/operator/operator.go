@@ -16,6 +16,8 @@ package operator
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/platform"
 	"repro/internal/sim"
@@ -27,6 +29,12 @@ const Tag = "backup"
 // TagValue is the label value that requests consistent replication — the
 // exact string from the demonstration (Fig. 3).
 const TagValue = "ConsistentCopyToCloud"
+
+// ShardsLabel is the namespace label that overrides the operator's
+// deployment-wide JournalShards for one namespace — how the tenant
+// controller threads a per-tenant shard count into the ReplicationGroup it
+// has the operator create. Unparsable or absent values keep the default.
+const ShardsLabel = "backup-shards"
 
 // Config tunes operator behaviour.
 type Config struct {
@@ -88,6 +96,18 @@ func (o *Operator) Removed() int64 { return o.removed }
 // namespace.
 func GroupNameFor(namespace string) string { return fmt.Sprintf("backup-%s", namespace) }
 
+// NamespaceOfGroup inverts GroupNameFor: the namespace a ReplicationGroup
+// name was derived from, with ok=false for names this operator did not
+// mint. Keep in lockstep with GroupNameFor (the tenant controller maps RG
+// events back to tenant keys through this).
+func NamespaceOfGroup(name string) (string, bool) {
+	ns := strings.TrimPrefix(name, "backup-")
+	if ns == name || ns == "" {
+		return "", false
+	}
+	return ns, true
+}
+
 func (o *Operator) reconcile(p *sim.Proc, key platform.ObjectKey) error {
 	groupKey := platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: GroupNameFor(key.Name)}
 	obj, err := o.api.Get(p, key)
@@ -126,13 +146,17 @@ func (o *Operator) reconcile(p *sim.Proc, key platform.ObjectKey) error {
 	if !errors.Is(err, platform.ErrNotFound) {
 		return err
 	}
+	shards := o.cfg.JournalShards
+	if v, err := strconv.Atoi(ns.Labels[ShardsLabel]); err == nil && v > 0 {
+		shards = v
+	}
 	rg := &platform.ReplicationGroup{
 		Meta: platform.Meta{Kind: platform.KindReplicationGroup, Name: groupKey.Name},
 		Spec: platform.ReplicationGroupSpec{
 			SourceNamespace:  ns.Name,
 			PVCNames:         pvcNames,
 			ConsistencyGroup: o.cfg.ConsistencyGroup,
-			JournalShards:    o.cfg.JournalShards,
+			JournalShards:    shards,
 		},
 		Status: platform.ReplicationGroupStatus{Phase: platform.GroupPending},
 	}

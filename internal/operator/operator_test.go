@@ -221,3 +221,38 @@ func TestOperatorIdempotentOnRepeatedEvents(t *testing.T) {
 		t.Fatalf("configured = %d, want 1", f.op.Configured())
 	}
 }
+
+// TestShardsLabelOverridesJournalShards pins the per-tenant shard override:
+// the ShardsLabel on a namespace beats the operator's deployment-wide
+// JournalShards; an unparsable value keeps the default.
+func TestShardsLabelOverridesJournalShards(t *testing.T) {
+	f := newFixture(t, Config{ConsistencyGroup: true, JournalShards: 2})
+	f.createNamespaceWithPVCs(t, "sharded",
+		map[string]string{Tag: TagValue, ShardsLabel: "8"}, "sales", "stock")
+	rg, ok := f.group(t, "sharded")
+	if !ok {
+		t.Fatal("no ReplicationGroup created")
+	}
+	if rg.Spec.JournalShards != 8 {
+		t.Fatalf("journal shards = %d, want 8 (label override)", rg.Spec.JournalShards)
+	}
+
+	f.createNamespaceWithPVCs(t, "plain", map[string]string{Tag: TagValue}, "sales")
+	rg, ok = f.group(t, "plain")
+	if !ok {
+		t.Fatal("no ReplicationGroup for plain namespace")
+	}
+	if rg.Spec.JournalShards != 2 {
+		t.Fatalf("journal shards = %d, want the configured default 2", rg.Spec.JournalShards)
+	}
+
+	f.createNamespaceWithPVCs(t, "bogus",
+		map[string]string{Tag: TagValue, ShardsLabel: "not-a-number"}, "sales")
+	rg, ok = f.group(t, "bogus")
+	if !ok {
+		t.Fatal("no ReplicationGroup for bogus-label namespace")
+	}
+	if rg.Spec.JournalShards != 2 {
+		t.Fatalf("journal shards = %d, want default 2 on unparsable label", rg.Spec.JournalShards)
+	}
+}

@@ -166,17 +166,26 @@ func (s *APIServer) Delete(p *sim.Proc, key ObjectKey) error {
 	return nil
 }
 
-// notify fans an event out to matching watches.
+// notify fans an event out to matching watches, compacting stopped watches
+// out of the registry as it goes. Without the compaction a long-lived churny
+// run (controllers starting and stopping per tenant) appends stopped
+// watches that every notify must skip forever — the watch leak.
 func (s *APIServer) notify(ev Event) {
+	kept := s.watches[:0]
 	for _, w := range s.watches {
 		if w.stopped {
 			continue
 		}
+		kept = append(kept, w)
 		if w.kind != ev.Object.GetMeta().Kind {
 			continue
 		}
 		w.ch.Put(ev)
 	}
+	for i := len(kept); i < len(s.watches); i++ {
+		s.watches[i] = nil // release the stopped watch for GC
+	}
+	s.watches = kept
 }
 
 // Watch streams events for one kind. Events carry deep copies; the watch
@@ -192,6 +201,32 @@ func (s *APIServer) Watch(kind Kind) *Watch {
 	w := &Watch{kind: kind, ch: s.env.NewChan()}
 	s.watches = append(s.watches, w)
 	return w
+}
+
+// Names returns the names of all objects of a kind, sorted — an uncharged
+// introspection helper (like Calls/WatchCount) for invariant checks, not a
+// modeled API call.
+func (s *APIServer) Names(kind Kind) []string {
+	var out []string
+	for k := range s.objects {
+		if k.Kind == kind {
+			out = append(out, k.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WatchCount returns the number of registered watches still delivering
+// (stopped watches linger only until the next notify compacts them).
+func (s *APIServer) WatchCount() int {
+	n := 0
+	for _, w := range s.watches {
+		if !w.stopped {
+			n++
+		}
+	}
+	return n
 }
 
 // Next blocks until an event arrives.

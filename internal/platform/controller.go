@@ -99,6 +99,7 @@ func (c *Controller) Enqueue(key ObjectKey) {
 func (c *Controller) Start() {
 	w := c.api.Watch(c.kind)
 	c.env.Process(c.name+":watch", func(p *sim.Proc) {
+		defer w.Stop() // detach so the API server can compact the watch away
 		for {
 			for w.Pending() == 0 {
 				if p.WaitAny(watchAvail(w), c.stop) == 1 {

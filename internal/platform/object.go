@@ -25,6 +25,7 @@ const (
 	KindReplicationGroup    Kind = "ReplicationGroup"
 	KindVolumeSnapshot      Kind = "VolumeSnapshot"
 	KindVolumeGroupSnapshot Kind = "VolumeGroupSnapshot"
+	KindTenant              Kind = "Tenant"
 )
 
 // Meta is the common object metadata.
@@ -236,6 +237,83 @@ func (g *ReplicationGroup) DeepCopy() Object {
 	cp.Labels = copyLabels(g.Labels)
 	cp.Spec.PVCNames = append([]string(nil), g.Spec.PVCNames...)
 	cp.Status.JournalIDs = append([]string(nil), g.Status.JournalIDs...)
+	return &cp
+}
+
+// TenantPhase is a Tenant lifecycle phase.
+type TenantPhase string
+
+// Tenant phases. Ready means the whole spec is realized: namespace and
+// claims exist, every claim is bound, and — when Backup is requested — the
+// replication group reports Ready.
+const (
+	TenantPending      TenantPhase = "Pending"
+	TenantProvisioning TenantPhase = "Provisioning"
+	TenantReady        TenantPhase = "Ready"
+	TenantFailed       TenantPhase = "Failed"
+)
+
+// Tenant is the declarative tenant-lifecycle object (cluster-scoped; its
+// name is the tenant namespace). Creating one asks the tenant controller to
+// provision the namespace, its claims, and — when Backup is set — the
+// consistency-group replication for them; deleting it asks for a full
+// decommission: drain, detach the replication group, and reclaim volumes
+// and journal shards back to the array free lists.
+type Tenant struct {
+	Meta
+	Spec   TenantSpec
+	Status TenantStatus
+}
+
+// TenantSpec is the tenant's desired state.
+type TenantSpec struct {
+	// Namespace the tenant occupies. Defaults to the object name; when both
+	// are set they must agree.
+	Namespace string
+	// PVCNames are the claims to provision. Empty adopts whatever claims
+	// already exist in the namespace (the one-shot wrapper path).
+	PVCNames []string
+	// VolumeBlocks sizes provisioned claims (0 = the system default).
+	VolumeBlocks int64
+	// Backup requests consistent replication to the backup site (the
+	// namespace tag the operator watches).
+	Backup bool
+	// QoSClass names the fabric class the tenant's drain traffic rides
+	// ("" = the deployment-wide default resolution).
+	QoSClass string
+	// LaneClasses optionally names a class per journal-shard drain lane
+	// (lane k rides LaneClasses[k]); lanes beyond the list, or empty
+	// entries, fall back to QoSClass. Ignored unless JournalShards > 1.
+	LaneClasses []string
+	// JournalShards, when > 1, shards the tenant's consistency-group
+	// journal across that many drain lanes (0 = the system default).
+	JournalShards int
+	// Profile names the tenant's workload shape. "" or "oltp" is the
+	// business process: ProvisionTenant opens the sales/stock databases and
+	// attaches a default shop workload. "oltp-external" opens the databases
+	// but leaves the workload to the caller (the fleet attaches its own
+	// per-tenant-seeded shop). "data-only" provisions and replicates the
+	// claims as raw volumes (no databases opened) — the E13-style tenants.
+	Profile string
+}
+
+// TenantStatus is filled by the tenant controller.
+type TenantStatus struct {
+	Phase   TenantPhase
+	Message string
+	// ReadyAt is the virtual time the tenant first reached Ready.
+	ReadyAt time.Duration
+}
+
+// GetMeta returns the object metadata.
+func (t *Tenant) GetMeta() *Meta { return &t.Meta }
+
+// DeepCopy returns an independent copy.
+func (t *Tenant) DeepCopy() Object {
+	cp := *t
+	cp.Labels = copyLabels(t.Labels)
+	cp.Spec.PVCNames = append([]string(nil), t.Spec.PVCNames...)
+	cp.Spec.LaneClasses = append([]string(nil), t.Spec.LaneClasses...)
 	return &cp
 }
 

@@ -332,3 +332,62 @@ func TestDeepCopyIndependence(t *testing.T) {
 		t.Fatal("DeepCopy shares storage")
 	}
 }
+
+// TestStoppedWatchesCompactOnNotify pins the watch-leak fix: a stopped
+// watch must be swept out of the server's registry by the next notify, not
+// skipped forever — long churny runs register and stop watches per tenant.
+func TestStoppedWatchesCompactOnNotify(t *testing.T) {
+	env := sim.NewEnv(1)
+	api := NewAPIServer(env, APIConfig{})
+	const n = 50
+	watches := make([]*Watch, n)
+	for i := range watches {
+		watches[i] = api.Watch(KindPVC)
+	}
+	keep := api.Watch(KindPVC)
+	for _, w := range watches {
+		w.Stop()
+	}
+	if got := api.WatchCount(); got != 1 {
+		t.Fatalf("WatchCount = %d, want 1 live", got)
+	}
+	if got := len(api.watches); got != n+1 {
+		t.Fatalf("registry = %d before notify, want %d", got, n+1)
+	}
+	env.Process("driver", func(p *sim.Proc) {
+		if err := api.Create(p, pvc("shop", "sales", "fast", 1)); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run(0)
+	if got := len(api.watches); got != 1 {
+		t.Fatalf("registry = %d after notify, want 1 (stopped watches compacted)", got)
+	}
+	if keep.Pending() != 1 {
+		t.Fatalf("surviving watch pending = %d, want 1", keep.Pending())
+	}
+	for _, w := range watches {
+		if w.Pending() != 0 {
+			t.Fatal("stopped watch received an event")
+		}
+	}
+}
+
+// TestControllerStopReleasesWatch pins the other half of the leak: a
+// stopped controller's watch must detach so the server can compact it.
+func TestControllerStopReleasesWatch(t *testing.T) {
+	env := sim.NewEnv(1)
+	api := NewAPIServer(env, APIConfig{})
+	ctrl := NewController(env, api, "test", KindPVC, nil,
+		ReconcilerFunc(func(p *sim.Proc, key ObjectKey) error { return nil }), ControllerConfig{})
+	ctrl.Start()
+	env.Run(0)
+	if got := api.WatchCount(); got != 1 {
+		t.Fatalf("WatchCount after Start = %d, want 1", got)
+	}
+	ctrl.Stop()
+	env.Run(0)
+	if got := api.WatchCount(); got != 0 {
+		t.Fatalf("WatchCount after Stop = %d, want 0 (controller watch leaked)", got)
+	}
+}

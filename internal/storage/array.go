@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/sim"
@@ -300,6 +301,98 @@ func (a *Array) ApplyDeltaSet(p *sim.Proc, n int) {
 func (a *Array) nextGlobalSeq() int64 {
 	a.globalSeq++
 	return a.globalSeq
+}
+
+// Usage summarizes the array's allocated state — the free-list invariant
+// tenant decommissioning is checked against: after a tenant is provisioned
+// and fully decommissioned, every counter returns to its prior value (no
+// leaked volumes, journals, shards, snapshots, or blocks).
+type Usage struct {
+	Volumes         int
+	Journals        int // includes each sharded journal's member shards
+	ShardedJournals int
+	Snapshots       int
+	SnapshotGroups  int
+	AttachedVolumes int   // volumes currently routed into a journal
+	StoredBlocks    int64 // blocks holding data across all volumes
+	PendingRecords  int   // undrained journal records across all journals
+	SavedBlocks     int64 // COW blocks preserved across all snapshots
+}
+
+// Usage returns the current allocation snapshot.
+func (a *Array) Usage() Usage {
+	var u Usage
+	u.Volumes = len(a.volumes)
+	u.Journals = len(a.journals)
+	u.ShardedJournals = len(a.sharded)
+	u.Snapshots = len(a.snapshots)
+	u.SnapshotGroups = len(a.groups)
+	for _, v := range a.volumes {
+		if v.journal != nil {
+			u.AttachedVolumes++
+		}
+		u.StoredBlocks += int64(len(v.blocks))
+	}
+	for _, j := range a.journals {
+		u.PendingRecords += j.Pending()
+	}
+	for _, s := range a.snapshots {
+		u.SavedBlocks += int64(len(s.saved))
+	}
+	return u
+}
+
+// Residue lists every array object still tied to the given ID prefix: a
+// volume whose ID starts with it, a journal (plain or sharded) named with
+// it or still carrying a matching member, a snapshot of a matching volume,
+// or a snapshot group with a matching member. A fully decommissioned
+// tenant's prefixes must report nothing — the array-level leak check.
+func (a *Array) Residue(prefix string) []string {
+	var out []string
+	for id := range a.volumes {
+		if strings.HasPrefix(string(id), prefix) {
+			out = append(out, "volume "+string(id))
+		}
+	}
+	for id, j := range a.journals {
+		if strings.HasPrefix(id, prefix) {
+			out = append(out, "journal "+id)
+			continue
+		}
+		for _, m := range j.members {
+			if strings.HasPrefix(string(m), prefix) {
+				out = append(out, fmt.Sprintf("journal %s member %s", id, m))
+				break
+			}
+		}
+	}
+	for id, sj := range a.sharded {
+		if strings.HasPrefix(id, prefix) {
+			out = append(out, "sharded journal "+id)
+			continue
+		}
+		for _, m := range sj.members {
+			if strings.HasPrefix(string(m), prefix) {
+				out = append(out, fmt.Sprintf("sharded journal %s member %s", id, m))
+				break
+			}
+		}
+	}
+	for id, s := range a.snapshots {
+		if strings.HasPrefix(string(s.parent.id), prefix) {
+			out = append(out, fmt.Sprintf("snapshot %s of %s", id, s.parent.id))
+		}
+	}
+	for name, g := range a.groups {
+		for _, s := range g.snaps {
+			if strings.HasPrefix(string(s.parent.id), prefix) {
+				out = append(out, fmt.Sprintf("snapshot group %s member of %s", name, s.parent.id))
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // WriteOps returns the total number of block writes served.

@@ -69,6 +69,33 @@ func (a *Array) DeleteSnapshot(id string) error {
 	return nil
 }
 
+// DeleteVolumeSnapshots releases every snapshot of the volume, shrinking
+// (and, once empty, removing) any snapshot groups they belong to — the
+// cleanup step tenant decommissioning runs before deleting the volume.
+func (a *Array) DeleteVolumeSnapshots(id VolumeID) error {
+	v, ok := a.volumes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchVolume, id)
+	}
+	for _, s := range append([]*Snapshot(nil), v.snapshots...) {
+		if g, ok := a.groups[s.group]; ok {
+			for i, gs := range g.snaps {
+				if gs == s {
+					g.snaps = append(g.snaps[:i], g.snaps[i+1:]...)
+					break
+				}
+			}
+			if len(g.snaps) == 0 {
+				delete(a.groups, s.group)
+			}
+		}
+		if err := a.DeleteSnapshot(s.id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ListSnapshots returns all snapshot IDs in lexical order.
 func (a *Array) ListSnapshots() []string {
 	out := make([]string, 0, len(a.snapshots))

@@ -537,3 +537,106 @@ func TestWrittenBlocksSorted(t *testing.T) {
 		}
 	}
 }
+
+// TestUsageAndResidueTrackAllocations pins the accounting the tenant
+// decommission invariant is built on: Usage counts every allocated object
+// and block, Residue finds everything tied to an ID prefix, and a full
+// teardown returns both to their prior values.
+func TestUsageAndResidueTrackAllocations(t *testing.T) {
+	env, a := newTestArray(t)
+	empty := a.Usage()
+	if empty != (Usage{}) {
+		t.Fatalf("fresh array usage = %+v", empty)
+	}
+	for _, id := range []VolumeID{"pvc-shop-sales", "pvc-shop-stock", "pvc-other-db"} {
+		if _, err := a.CreateVolume(id, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.CreateShardedConsistencyGroup("jnl-backup-shop-0",
+		[]VolumeID{"pvc-shop-sales", "pvc-shop-stock"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	env.Process("write", func(p *sim.Proc) {
+		v, _ := a.Volume("pvc-shop-sales")
+		if _, err := v.Write(p, 0, block(a, 1)); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run(0)
+	if _, err := a.CreateSnapshotGroup("shop-final", []VolumeID{"pvc-shop-sales", "pvc-shop-stock"}); err != nil {
+		t.Fatal(err)
+	}
+
+	u := a.Usage()
+	if u.Volumes != 3 || u.ShardedJournals != 1 || u.Journals != 2 ||
+		u.Snapshots != 2 || u.SnapshotGroups != 1 || u.AttachedVolumes != 2 {
+		t.Fatalf("usage = %+v", u)
+	}
+	if u.StoredBlocks != 1 || u.PendingRecords != 1 {
+		t.Fatalf("usage blocks/records = %+v", u)
+	}
+	if res := a.Residue("pvc-shop-"); len(res) == 0 {
+		t.Fatal("residue missed the shop objects")
+	}
+	if res := a.Residue("pvc-missing-"); len(res) != 0 {
+		t.Fatalf("phantom residue: %v", res)
+	}
+
+	// Full teardown of the shop tenant.
+	if err := a.DeleteShardedJournal("jnl-backup-shop-0"); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []VolumeID{"pvc-shop-sales", "pvc-shop-stock"} {
+		if err := a.DeleteVolumeSnapshots(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.DeleteVolume(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res := a.Residue("pvc-shop-"); len(res) != 0 {
+		t.Fatalf("residue after teardown: %v", res)
+	}
+	if res := a.Residue("jnl-backup-shop-"); len(res) != 0 {
+		t.Fatalf("journal residue after teardown: %v", res)
+	}
+	want := Usage{Volumes: 1}
+	if got := a.Usage(); got != want {
+		t.Fatalf("usage after teardown = %+v, want %+v", got, want)
+	}
+}
+
+// TestDeleteVolumeSnapshotsShrinksGroups pins the group bookkeeping: a
+// per-volume snapshot deletion removes the member from its group and drops
+// the group when the last member goes.
+func TestDeleteVolumeSnapshotsShrinksGroups(t *testing.T) {
+	_, a := newTestArray(t)
+	for _, id := range []VolumeID{"va", "vb"} {
+		if _, err := a.CreateVolume(id, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.CreateSnapshotGroup("g", []VolumeID{"va", "vb"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.DeleteVolumeSnapshots("va"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := a.SnapshotGroupByName("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Snapshots()) != 1 {
+		t.Fatalf("group members = %d, want 1", len(g.Snapshots()))
+	}
+	if err := a.DeleteVolumeSnapshots("vb"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SnapshotGroupByName("g"); err == nil {
+		t.Fatal("empty snapshot group survived")
+	}
+	if u := a.Usage(); u.Snapshots != 0 || u.SnapshotGroups != 0 {
+		t.Fatalf("usage after deletes = %+v", u)
+	}
+}
