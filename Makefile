@@ -4,7 +4,7 @@
 #         format check, vet, build, full tests (plain and -race: the sim
 #         kernel and the fabric dispatchers move work across goroutines),
 #         and `bench-check`, the bench-regression gate: every experiment
-#         harness (E1-E14) runs at -benchtime 3x -benchmem and FAILS the
+#         harness (E1-E15) runs at -benchtime 3x -benchmem and FAILS the
 #         build if any harness's ns/op regressed more than 25% against the
 #         committed BENCH_baseline.json (alloc regressions warn; new
 #         benches are allowed and reported). `make bench-smoke` is the
@@ -64,23 +64,10 @@ bench-check:
 
 # Record the bench numbers as JSON (one entry per harness, with -benchmem
 # allocation columns; minimum ns/op over -count 3, matching what
-# bench-check measures). bench-check compares runs against the committed
-# copy.
+# bench-check measures). cmd/benchcheck -update does the parsing and
+# aggregation — the exact same code path bench-check compares with — so the
+# recorded numbers are like-for-like by construction.
 baseline:
-	$(GO) test -run '^$$' -bench . -benchtime 3x -benchmem -count 3 . | awk ' \
-		/^Benchmark/ { \
-			name = $$1; sub(/-[0-9]+$$/, "", name); \
-			if (!(name in ns) || $$3+0 < ns[name]) { \
-				ns[name] = $$3+0; bytes[name] = $$5+0; allocs[name] = $$7+0; iters[name] = $$2+0 } \
-			if (!(name in order)) { order[name] = ++n; names[n] = name } \
-		} \
-		END { \
-			print "["; \
-			for (i = 1; i <= n; i++) { \
-				name = names[i]; \
-				printf("  {\"name\": \"%s\", \"iters\": %d, \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d}%s\n", \
-					name, iters[name], ns[name], bytes[name], allocs[name], (i < n) ? "," : "") \
-			} \
-			print "]" \
-		}' > BENCH_baseline.json
+	$(GO) test -run '^$$' -bench . -benchtime 3x -benchmem -count 3 . | \
+		$(GO) run ./cmd/benchcheck -update -baseline BENCH_baseline.json
 	@cat BENCH_baseline.json

@@ -204,3 +204,27 @@ func BenchmarkE14_Elasticity(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE15_Reshard regenerates E15: a write-heavy tenant's journal
+// resharded 1->4 LIVE (epoch-barrier migration under continuous load and
+// bystander OLTP traffic) over a four-link fabric. The acceptance shape is
+// asserted here too: >= 2x post-reshard drain throughput, an exact
+// epoch-boundary prefix from a failover raced into the migration window,
+// and zero migration on a shards-unchanged reconcile.
+func BenchmarkE15_Reshard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E15Reshard(int64(i+1), 4000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.SpeedupPostVsPre < 2 {
+			b.Fatalf("post/pre speedup %.2fx < 2x: %+v", res.SpeedupPostVsPre, res)
+		}
+		if !res.FailoverConsistent || !res.RacedWindow {
+			b.Fatalf("mid-window failover cut broke: %+v", res)
+		}
+		if !res.NoopZeroMigration {
+			b.Fatalf("unchanged reconcile migrated: %+v", res)
+		}
+	}
+}

@@ -13,6 +13,11 @@
 // Usage (what `make bench-check` runs):
 //
 //	go test -run '^$' -bench . -benchtime 3x -benchmem -count 3 . | go run ./cmd/benchcheck -baseline BENCH_baseline.json
+//
+// With -update the tool REWRITES the baseline from the run on stdin instead
+// of comparing against it (what `make baseline` runs) — same parser, same
+// min-over-count aggregation, so the recorded numbers are exactly what a
+// later bench-check will compare like-for-like.
 package main
 
 import (
@@ -116,6 +121,39 @@ func aggregateMin(entries []Entry) []Entry {
 		}
 	}
 	return out
+}
+
+// writeBaseline renders entries in the committed baseline's stable format:
+// one object per line, integer-rounded values, first-seen order — so
+// regenerating after an intentional cost move yields a reviewable diff.
+func writeBaseline(w io.Writer, entries []Entry) error {
+	var b strings.Builder
+	b.WriteString("[\n")
+	for i, e := range entries {
+		fmt.Fprintf(&b, "  {\"name\": %q, \"iters\": %d, \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d}",
+			e.Name, e.Iters, int64(e.NsPerOp), int64(e.BytesPerOp), int64(e.AllocsPerOp))
+		if i < len(entries)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("]\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// updateBaseline writes the parsed run to path and returns the recorded
+// entries.
+func updateBaseline(path string, entries []Entry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := writeBaseline(f, entries); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadBaseline(path string) ([]Entry, error) {
@@ -240,13 +278,9 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline to compare against")
 	nsThreshold := flag.Float64("threshold", 0.25, "blocking ns/op regression threshold (fraction)")
 	allocThreshold := flag.Float64("alloc-threshold", 0.25, "warn-only allocs/op regression threshold (fraction)")
+	update := flag.Bool("update", false, "rewrite the baseline from the bench run on stdin instead of comparing")
 	flag.Parse()
 
-	baseline, err := loadBaseline(*baselinePath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
-		os.Exit(2)
-	}
 	current, err := parseBenchOutput(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: reading bench output: %v\n", err)
@@ -254,6 +288,19 @@ func main() {
 	}
 	if len(current) == 0 {
 		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark lines on stdin (pipe `go test -bench` output in)")
+		os.Exit(2)
+	}
+	if *update {
+		if err := updateBaseline(*baselinePath, current); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: updating %s: %v\n", *baselinePath, err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchcheck: wrote %s (%d benchmarks, min ns/op over repeated runs)\n", *baselinePath, len(current))
+		return
+	}
+	baseline, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		os.Exit(2)
 	}
 	verdicts := compare(baseline, current, *nsThreshold, *allocThreshold)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -151,5 +153,69 @@ func TestDeltaSummaryNoOverlap(t *testing.T) {
 	s := deltaSummary([]Entry{{Name: "Old", NsPerOp: 1}}, []Entry{{Name: "New", NsPerOp: 1}})
 	if !strings.Contains(s, "no baseline overlap") || !strings.Contains(s, "1 new") || !strings.Contains(s, "1 missing") {
 		t.Errorf("summary = %q", s)
+	}
+}
+
+// TestUpdateBaselineRoundTrips pins the -update mode: the written file is
+// the committed baseline format (stable line-per-entry layout, integer
+// values) and loads back to exactly what the parser aggregated — so a
+// baseline regenerated by `make baseline` compares like-for-like with the
+// run that produced it.
+func TestUpdateBaselineRoundTrips(t *testing.T) {
+	out := "BenchmarkE1_EndToEndPipeline-8   3   8372413 ns/op   120000 B/op   2200 allocs/op\n" +
+		"BenchmarkE15_Reshard-8           3  50123456 ns/op  9000000 B/op  81000 allocs/op\n" +
+		"BenchmarkE1_EndToEndPipeline-8   3   7260607 ns/op   118000 B/op   2100 allocs/op\n"
+	entries, err := parseBenchOutput(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_baseline.json")
+	if err := updateBaseline(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 {
+		t.Fatalf("loaded %d entries, want 2", len(loaded))
+	}
+	if loaded[0].Name != "BenchmarkE1_EndToEndPipeline" || loaded[0].NsPerOp != 7260607 {
+		t.Fatalf("entry 0 = %+v (min-over-count not recorded)", loaded[0])
+	}
+	if loaded[1].Name != "BenchmarkE15_Reshard" || loaded[1].AllocsPerOp != 81000 {
+		t.Fatalf("entry 1 = %+v", loaded[1])
+	}
+	// The file itself keeps the reviewable one-line-per-entry shape.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 || lines[0] != "[" || lines[len(lines)-1] != "]" {
+		t.Fatalf("baseline layout changed:\n%s", data)
+	}
+	// A comparison against the just-written baseline is all-ok.
+	for _, v := range compare(loaded, entries, 0.25, 0.25) {
+		if v.Status != "ok" {
+			t.Fatalf("self-comparison verdict %+v", v)
+		}
+	}
+}
+
+// TestUpdateBaselineFractionalNsRounds covers sub-nanosecond benches (the
+// parser keeps floats; the committed format records integers).
+func TestUpdateBaselineFractionalNsRounds(t *testing.T) {
+	entries := []Entry{{Name: "BenchmarkTiny", Iters: 1000000, NsPerOp: 12.75, BytesPerOp: 3.5, AllocsPerOp: 0.5}}
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := updateBaseline(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded[0].NsPerOp != 12 || loaded[0].BytesPerOp != 3 {
+		t.Fatalf("rounding changed: %+v", loaded[0])
 	}
 }

@@ -1,5 +1,5 @@
 // Command experiments regenerates every table/figure of the reproduction
-// (E1-E14; DESIGN.md carries the experiment index). Select a subset with
+// (E1-E15; DESIGN.md carries the experiment index). Select a subset with
 // -run.
 package main
 
@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment IDs (e1,e2,...,e14) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment IDs (e1,e2,...,e15) or 'all'")
 	seed := flag.Int64("seed", 1, "base simulation seed")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	flag.Parse()
@@ -152,6 +152,17 @@ func main() {
 			log.Fatalf("E14: %v", err)
 		}
 		fmt.Println(experiments.E14Table(res))
+	}
+	if sel("e15") {
+		e15Writes := 6000
+		if *quick {
+			e15Writes = 2000
+		}
+		res, err := experiments.E15Reshard(*seed, e15Writes)
+		if err != nil {
+			log.Fatalf("E15: %v", err)
+		}
+		fmt.Println(experiments.E15Table(res))
 	}
 	if sel("e9") {
 		batch, err := experiments.E9BatchSweep(*seed, []int{1, 4, 16, 64, 256}, orders)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -95,6 +96,14 @@ type FailoverResult struct {
 	RecoveryTime time.Duration
 }
 
+// ErrShardedFailback reports a Failback attempt that found a failed-over
+// sharded group. Sharded failback is an open design problem (the delta
+// resync needs a per-shard REVERSE group layout — see DESIGN.md "Dynamic
+// resharding"); until it exists, Failback refuses before touching anything,
+// so every group — failed-over or still draining — is left exactly as it
+// was.
+var ErrShardedFailback = errors.New("core: failback of a sharded group is not supported")
+
 // FailbackResult reports a completed failback resynchronization.
 type FailbackResult struct {
 	// Reverse holds the running backup→main replication groups.
@@ -121,7 +130,7 @@ func (sys *System) Failback(p *sim.Proc) (*FailbackResult, error) {
 		}
 		ag, ok := g.(*replication.Group)
 		if !ok {
-			return nil, fmt.Errorf("core: failback for sharded group %s not supported", g.Name())
+			return nil, fmt.Errorf("%w: %s", ErrShardedFailback, g.Name())
 		}
 		failedOver = append(failedOver, ag)
 	}

@@ -21,6 +21,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"strconv"
 	"strings"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/csiplugin"
 	"repro/internal/operator"
 	"repro/internal/platform"
+	"repro/internal/replication"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -463,6 +465,123 @@ func (sys *System) ProvisionTenant(p *sim.Proc, spec platform.TenantSpec) (*Busi
 		}
 	}
 	return bp, nil
+}
+
+// UpdateTenantSpec mutates a tenant's declared spec in place, retrying
+// version conflicts (the tenant controller updates the same object's status
+// concurrently). A mutation that leaves the spec unchanged performs no API
+// write at all — spec updates are only as loud as the drift they declare.
+// The controller chain then reconciles the world to the new spec; use the
+// matching wait helper (WaitTenantReady, WaitReshard) to block on it.
+func (sys *System) UpdateTenantSpec(p *sim.Proc, namespace string, mutate func(*platform.TenantSpec)) error {
+	for {
+		obj, err := sys.Main.API.Get(p, tenantKey(namespace))
+		if err != nil {
+			return err
+		}
+		tn := obj.(*platform.Tenant)
+		next := tn.DeepCopy().(*platform.Tenant)
+		mutate(&next.Spec)
+		if reflect.DeepEqual(tn.Spec, next.Spec) {
+			return nil
+		}
+		err = sys.Main.API.Update(p, next)
+		if errors.Is(err, platform.ErrConflict) {
+			continue
+		}
+		return err
+	}
+}
+
+// ErrNotReshardable reports a reshard request against replication that can
+// structurally never reconfigure its lanes: per-volume (non-consistency-
+// group) engines have no shard structure, and a failed-over or stopped
+// group has no live drain to migrate under. The refusal is immediate —
+// these states do not converge, so waiting a timeout out would just dress
+// a permanent condition up as a transient one.
+var ErrNotReshardable = errors.New("core: tenant replication cannot reshard")
+
+// reshardable screens the namespace for the permanent can't-reshard states
+// (nil for "possible or still transient"): no backup declared (nothing will
+// ever drain), per-volume replication (no shard structure — detected from
+// the engine count or, for a single-claim tenant, the RG spec), or an
+// engine that already failed over or stopped.
+func (sys *System) reshardable(p *sim.Proc, namespace string) error {
+	obj, err := sys.Main.API.Get(p, tenantKey(namespace))
+	if err != nil {
+		return err
+	}
+	if !obj.(*platform.Tenant).Spec.Backup {
+		return fmt.Errorf("%w: %s has backup disabled (no replication to reshard)", ErrNotReshardable, namespace)
+	}
+	rgKey := platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: operator.GroupNameFor(namespace)}
+	if obj, err := sys.Main.API.Get(p, rgKey); err == nil {
+		if !obj.(*platform.ReplicationGroup).Spec.ConsistencyGroup {
+			return fmt.Errorf("%w: %s replicates per-volume journals (no shard structure)", ErrNotReshardable, namespace)
+		}
+	} else if !errors.Is(err, platform.ErrNotFound) {
+		return err
+	}
+	gs := sys.Groups(namespace)
+	if len(gs) > 1 {
+		return fmt.Errorf("%w: %s replicates per-volume journals (%d engines, no shard structure)",
+			ErrNotReshardable, namespace, len(gs))
+	}
+	if len(gs) == 1 && (gs[0].FailedOver() || gs[0].Stopped()) {
+		return fmt.Errorf("%w: %s engine %s is no longer draining", ErrNotReshardable, namespace, gs[0].Name())
+	}
+	return nil
+}
+
+// ReshardTenant declares a new journal shard count on the tenant's spec and
+// waits for the resulting live reshard to settle: the spec change threads
+// tenant controller → namespace ShardsLabel → operator → ReplicationGroup →
+// replication plugin, which seals a migration barrier, re-places volumes,
+// and reconfigures the drain lanes while replication keeps running. On
+// return the engine drains `shards` lanes and the migration window is
+// closed (pre-barrier records committed, retired shards reclaimed).
+// Structurally impossible requests (per-volume replication, a failed-over
+// group) refuse immediately with ErrNotReshardable instead of timing out.
+func (sys *System) ReshardTenant(p *sim.Proc, namespace string, shards int) error {
+	if shards < 1 {
+		return fmt.Errorf("core: reshard %s to %d shards", namespace, shards)
+	}
+	if err := sys.reshardable(p, namespace); err != nil {
+		return err
+	}
+	if err := sys.UpdateTenantSpec(p, namespace, func(s *platform.TenantSpec) {
+		s.JournalShards = shards
+	}); err != nil {
+		return err
+	}
+	return sys.WaitReshard(p, namespace, shards, sys.provisionTimeout())
+}
+
+// WaitReshard blocks until the namespace's replication engine runs exactly
+// `shards` drain lanes with no open migration window. It fails fast with
+// ErrNotReshardable when the engine enters a state that can never converge
+// (failed over or stopped mid-wait — e.g. a reshard racing a disaster),
+// and with ErrTimeout otherwise.
+func (sys *System) WaitReshard(p *sim.Proc, namespace string, shards int, timeout time.Duration) error {
+	deadline := p.Now() + timeout
+	for {
+		if err := sys.reshardable(p, namespace); err != nil {
+			return err
+		}
+		if gs := sys.Groups(namespace); len(gs) == 1 {
+			g := gs[0]
+			if g.Lanes() == shards {
+				sg, sharded := g.(*replication.ShardedGroup)
+				if !sharded || !sg.Resharding() {
+					return nil
+				}
+			}
+		}
+		if p.Now() >= deadline {
+			return fmt.Errorf("%w: tenant %s not resharded to %d lanes", ErrTimeout, namespace, shards)
+		}
+		p.Sleep(10 * time.Millisecond)
+	}
 }
 
 // WaitTenantReady blocks until the tenant's status reaches Ready (nil), or

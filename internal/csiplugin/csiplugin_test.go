@@ -1,6 +1,7 @@
 package csiplugin
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -504,5 +505,245 @@ func TestProvisionerUnwindsDeletedClaim(t *testing.T) {
 	u := f.sites.MainArray.Usage()
 	if u.Volumes != 0 || u.Snapshots != 0 || u.Journals != 0 || u.StoredBlocks != 0 {
 		t.Fatalf("array not clean after unwind: %+v", u)
+	}
+}
+
+// setRGShards patches the CR's JournalShards (what the operator does when
+// the ShardsLabel changes) and lets the plugin reconcile.
+func (f *twoSites) setRGShards(t *testing.T, name string, shards int) {
+	t.Helper()
+	f.env.Process("respec", func(p *sim.Proc) {
+		obj, err := f.sites.MainAPI.Get(p, platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: name})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rg := obj.(*platform.ReplicationGroup)
+		rg.Spec.JournalShards = shards
+		if err := f.sites.MainAPI.Update(p, rg); err != nil {
+			t.Error(err)
+		}
+	})
+	f.env.Run(f.env.Now() + 5*time.Second)
+}
+
+// TestReplicationPluginReshardsOnSpecChange drives a live 2->4->2 reshard
+// through the CR: the SAME engine reconfigures in place, replication keeps
+// working across both transitions, and the shrink decommissions the retired
+// shard journals.
+func TestReplicationPluginReshardsOnSpecChange(t *testing.T) {
+	f := newTwoSites(t)
+	pvcs := []string{"d0", "d1", "d2", "d3", "d4", "d5", "d6", "d7"}
+	f.createClaims(t, "shop", pvcs...)
+	rp := f.createShardedRG(t, "backup-shop", 2, pvcs...)
+	before := rp.Groups("backup-shop")[0].(*replication.ShardedGroup)
+	if before.Lanes() != 2 {
+		t.Fatalf("lanes = %d, want 2", before.Lanes())
+	}
+
+	f.setRGShards(t, "backup-shop", 4)
+	after := rp.Groups("backup-shop")[0]
+	if after != replication.Replicator(before) {
+		t.Fatal("grow replaced the engine; a sharded engine must reshard in place")
+	}
+	if before.Lanes() != 4 {
+		t.Fatalf("lanes after grow = %d, want 4", before.Lanes())
+	}
+	sj, err := f.sites.MainArray.ShardedJournal("jnl-backup-shop-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sj.ShardCount() != 4 || sj.Reshards() != 1 {
+		t.Fatalf("journal shards=%d reshards=%d", sj.ShardCount(), sj.Reshards())
+	}
+
+	// Replication still works on the widened lane set.
+	f.env.Process("write", func(p *sim.Proc) {
+		v, _ := f.sites.MainArray.Volume(VolumeIDForClaim("shop", "d3"))
+		buf := make([]byte, f.sites.MainArray.Config().BlockSize)
+		buf[0] = 0x77
+		if _, err := v.Write(p, 9, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		if !before.AwaitReshard(p) || !before.CatchUp(p) {
+			t.Error("engine never settled after grow")
+		}
+	})
+	f.env.Run(0)
+	tv, _ := f.sites.BackupArray.Volume(VolumeIDForClaim("shop", "d3"))
+	if got := tv.Peek(9); got[0] != 0x77 {
+		t.Fatalf("write after grow not replicated: %x", got[0])
+	}
+
+	f.setRGShards(t, "backup-shop", 2)
+	f.env.Process("settle", func(p *sim.Proc) { before.AwaitReshard(p) })
+	f.env.Run(0)
+	if before.Lanes() != 2 {
+		t.Fatalf("lanes after shrink = %d, want 2", before.Lanes())
+	}
+	for _, k := range []int{2, 3} {
+		if _, err := f.sites.MainArray.Journal(fmt.Sprintf("jnl-backup-shop-0#s%d", k)); err == nil {
+			t.Fatalf("retired shard journal #s%d survives the shrink", k)
+		}
+	}
+}
+
+// TestReplicationPluginUpgradesPlainEngine reshards a group that started on
+// the paper's plain single-journal path (shards=1): the plugin must hand
+// the journal off losslessly to a sharded engine and widen it, with writes
+// from before and after the upgrade all reaching the backup.
+func TestReplicationPluginUpgradesPlainEngine(t *testing.T) {
+	f := newTwoSites(t)
+	pvcs := []string{"d0", "d1", "d2", "d3"}
+	f.createClaims(t, "shop", pvcs...)
+	rp := f.createShardedRG(t, "backup-shop", 1, pvcs...)
+	old, ok := rp.Groups("backup-shop")[0].(*replication.Group)
+	if !ok {
+		t.Fatalf("shards=1 engine is %T, want the plain *replication.Group", rp.Groups("backup-shop")[0])
+	}
+
+	// Backlog some writes so the handoff happens with records pending.
+	f.env.Process("pre-writes", func(p *sim.Proc) {
+		buf := make([]byte, f.sites.MainArray.Config().BlockSize)
+		for i, name := range pvcs {
+			buf[0] = byte(0x10 + i)
+			v, _ := f.sites.MainArray.Volume(VolumeIDForClaim("shop", name))
+			if _, err := v.Write(p, int64(i), buf); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	f.env.Run(0)
+
+	f.setRGShards(t, "backup-shop", 4)
+	sg, ok := rp.Groups("backup-shop")[0].(*replication.ShardedGroup)
+	if !ok {
+		t.Fatalf("engine after upgrade is %T, want *replication.ShardedGroup", rp.Groups("backup-shop")[0])
+	}
+	if sg.Lanes() != 4 {
+		t.Fatalf("lanes = %d, want 4", sg.Lanes())
+	}
+	if !old.Detached() {
+		t.Fatal("plain engine was not detached (records may have been dropped as lost)")
+	}
+	if rp.NamespaceOf(sg) != "shop" {
+		t.Fatal("namespace mapping lost across the engine swap")
+	}
+	f.env.Process("post-writes", func(p *sim.Proc) {
+		buf := make([]byte, f.sites.MainArray.Config().BlockSize)
+		buf[0] = 0x99
+		v, _ := f.sites.MainArray.Volume(VolumeIDForClaim("shop", "d0"))
+		if _, err := v.Write(p, 17, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		if !sg.AwaitReshard(p) || !sg.CatchUp(p) {
+			t.Error("upgraded engine never caught up")
+		}
+	})
+	f.env.Run(0)
+	for i, name := range pvcs {
+		tv, _ := f.sites.BackupArray.Volume(VolumeIDForClaim("shop", name))
+		if got := tv.Peek(int64(i)); got[0] != byte(0x10+i) {
+			t.Fatalf("pre-upgrade write to %s lost: %x", name, got[0])
+		}
+	}
+	tv, _ := f.sites.BackupArray.Volume(VolumeIDForClaim("shop", "d0"))
+	if got := tv.Peek(17); got[0] != 0x99 {
+		t.Fatalf("post-upgrade write lost: %x", got[0])
+	}
+
+	// Teardown after the upgrade reclaims the converted journal too.
+	f.env.Process("delete", func(p *sim.Proc) {
+		f.sites.MainAPI.Delete(p, platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: "backup-shop"})
+	})
+	f.env.Run(f.env.Now() + 5*time.Second)
+	if res := f.sites.MainArray.Residue("jnl-backup-shop-"); len(res) != 0 {
+		t.Fatalf("journal residue after teardown: %v", res)
+	}
+}
+
+// TestReplicationPluginUnchangedReconcileIsNoop pins the guarantee E11-E14
+// rest on: a reconcile with the shard count unchanged performs zero
+// migration and zero API writes.
+func TestReplicationPluginUnchangedReconcileIsNoop(t *testing.T) {
+	f := newTwoSites(t)
+	pvcs := []string{"d0", "d1", "d2", "d3"}
+	f.createClaims(t, "shop", pvcs...)
+	rp := f.createShardedRG(t, "backup-shop", 2, pvcs...)
+	engine := rp.Groups("backup-shop")[0]
+	sj, err := f.sites.MainArray.ShardedJournal("jnl-backup-shop-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var versionAfterTouch int64
+	// Touch the CR without changing the spec: the plugin reconcile runs and
+	// must not reshard, migrate, or write status.
+	f.env.Process("touch", func(p *sim.Proc) {
+		obj, err := f.sites.MainAPI.Get(p, platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: "backup-shop"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.sites.MainAPI.Update(p, obj); err != nil {
+			t.Error(err)
+			return
+		}
+		versionAfterTouch = obj.GetMeta().ResourceVersion
+	})
+	f.env.Run(f.env.Now() + 2*time.Second)
+	if got := rp.Groups("backup-shop")[0]; got != engine {
+		t.Fatal("unchanged reconcile replaced the engine")
+	}
+	if sj.Reshards() != 0 || sj.MovedRecords() != 0 || sj.MovedVolumes() != 0 {
+		t.Fatalf("unchanged reconcile migrated: reshards=%d movedRecs=%d movedVols=%d",
+			sj.Reshards(), sj.MovedRecords(), sj.MovedVolumes())
+	}
+	f.env.Process("verify-version", func(p *sim.Proc) {
+		obj, err := f.sites.MainAPI.Get(p, platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: "backup-shop"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if v := obj.GetMeta().ResourceVersion; v != versionAfterTouch {
+			t.Errorf("CR version moved %d -> %d: the no-op reconcile wrote status", versionAfterTouch, v)
+		}
+	})
+	f.env.Run(0)
+}
+
+// TestReplicationPluginTeardownMidReshard deletes the CR while a reshard's
+// migration window is still open: every shard journal — active, added, and
+// retired — must come back off the array.
+func TestReplicationPluginTeardownMidReshard(t *testing.T) {
+	f := newTwoSites(t)
+	pvcs := []string{"d0", "d1", "d2", "d3", "d4", "d5"}
+	f.createClaims(t, "shop", pvcs...)
+	rp := f.createShardedRG(t, "backup-shop", 4, pvcs...)
+	sg := rp.Groups("backup-shop")[0].(*replication.ShardedGroup)
+	// Backlog writes, then shrink and delete immediately — the retired
+	// shards are still waiting on their staged records when the CR goes.
+	f.env.Process("churn", func(p *sim.Proc) {
+		buf := make([]byte, f.sites.MainArray.Config().BlockSize)
+		for i := 0; i < 48; i++ {
+			v, _ := f.sites.MainArray.Volume(VolumeIDForClaim("shop", pvcs[i%len(pvcs)]))
+			if _, err := v.Write(p, int64(i/len(pvcs)), buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	f.env.Run(0)
+	f.setRGShards(t, "backup-shop", 2)
+	f.env.Process("delete", func(p *sim.Proc) {
+		f.sites.MainAPI.Delete(p, platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: "backup-shop"})
+	})
+	f.env.Run(f.env.Now() + 5*time.Second)
+	if !sg.Stopped() {
+		t.Fatal("engine still running after CR deletion")
+	}
+	if res := f.sites.MainArray.Residue("jnl-backup-shop-"); len(res) != 0 {
+		t.Fatalf("journal residue after mid-reshard teardown: %v", res)
 	}
 }

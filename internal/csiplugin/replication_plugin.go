@@ -115,12 +115,15 @@ func (rp *ReplicationPlugin) reconcile(p *sim.Proc, key platform.ObjectKey) erro
 		return err
 	}
 	rg := obj.(*platform.ReplicationGroup)
-	if rg.Status.Phase == platform.GroupReady && len(rp.groups[rg.Name]) > 0 {
-		return nil
-	}
 	if len(rp.groups[rg.Name]) > 0 {
-		// Partially configured from an earlier attempt; report Ready.
-		return rp.setPhase(p, rg, platform.GroupReady, "replication running")
+		if rg.Status.Phase != platform.GroupReady {
+			// Partially configured from an earlier attempt; report Ready.
+			return rp.setPhase(p, rg, platform.GroupReady, "replication running")
+		}
+		// Configured and Ready: the only reconcilable drift left is the
+		// declared shard count (a ShardsLabel change threaded through the
+		// operator). Unchanged counts return without a single API write.
+		return rp.maybeReshard(p, rg)
 	}
 
 	// Resolve every claim to its source volume.
@@ -261,6 +264,72 @@ func (rp *ReplicationPlugin) reconcile(p *sim.Proc, key platform.ObjectKey) erro
 		journalIDs = append(journalIDs, journalID)
 	}
 	return rp.finishReady(p, key, rg, created, journalIDs)
+}
+
+// maybeReshard diffs the CR's declared shard count against the running
+// engine's lane count and, when they differ, drives the live reshard: a
+// sharded engine reconfigures its lane set in place (epoch-barrier
+// migration, untouched lanes keep draining); the paper's plain single-lane
+// engine is upgraded through a planned handoff — Detach at a batch boundary
+// (no records lost), the journal converted in place to a one-shard group,
+// and a sharded engine adopting the backlog before widening. The reconcile
+// does not wait for the migration window to settle — the engine drains it
+// in the background and callers observe Resharding()/Lanes().
+func (rp *ReplicationPlugin) maybeReshard(p *sim.Proc, rg *platform.ReplicationGroup) error {
+	if !rg.Spec.ConsistencyGroup {
+		return nil // per-volume journals have no shard structure to reshape
+	}
+	groups := rp.groups[rg.Name]
+	if len(groups) != 1 {
+		return nil
+	}
+	cur := groups[0]
+	want := rg.Spec.JournalShards
+	if want < 1 {
+		want = 1
+	}
+	if cur.Lanes() == want || cur.Stopped() || cur.FailedOver() {
+		return nil
+	}
+	ns := rg.Spec.SourceNamespace
+	from := cur.Lanes()
+	paths := make([]fabric.Path, want)
+	for k := range paths {
+		paths[k] = rp.sites.pathForLane(ns, k)
+	}
+	if _, err := cur.Reshard(p, paths); err != nil {
+		if !errors.Is(err, replication.ErrReshardUnsupported) {
+			return err
+		}
+		old := cur.(*replication.Group)
+		if err := old.Detach(p); err != nil {
+			return err
+		}
+		sj, err := rp.sites.MainArray.ConvertToSharded(old.JournalID())
+		if errors.Is(err, storage.ErrJournalExists) {
+			// A previous attempt converted but failed later; adopt it.
+			sj, err = rp.sites.MainArray.ShardedJournal(old.JournalID())
+		}
+		if err != nil {
+			return err
+		}
+		sg, err := replication.NewShardedGroup(rp.env, old.Name(), sj, rp.sites.BackupArray,
+			old.Mapping(), paths[:sj.ShardCount()], rp.cfg)
+		if err != nil {
+			return err
+		}
+		sg.Start()
+		rp.groups[rg.Name] = []replication.Replicator{sg}
+		delete(rp.nsByGroup, old)
+		rp.nsByGroup[sg] = ns
+		if sg.Lanes() != want {
+			if _, err := sg.Reshard(p, paths); err != nil {
+				return err
+			}
+		}
+	}
+	return rp.setPhase(p, rg, platform.GroupReady,
+		fmt.Sprintf("replication running (resharded %d -> %d lanes)", from, want))
 }
 
 // finishReady records the configured engines and marks the CR Ready.

@@ -437,3 +437,44 @@ func TestE14ElasticityJoinsLeavesAndReclaims(t *testing.T) {
 	}
 	t.Log("\n" + E14Table(res).String())
 }
+
+// TestE15ReshardLiveMigration pins the dynamic-resharding shape: the live
+// 1->4 reshard at least doubles drain throughput, migrates only re-placed
+// volumes' records, keeps the bystanders committing, survives a failover
+// raced into the migration window with an exact epoch-boundary prefix, and
+// an unchanged reconcile migrates nothing.
+func TestE15ReshardLiveMigration(t *testing.T) {
+	res, err := E15Reshard(1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpeedupPostVsPre < 2 {
+		t.Errorf("post/pre speedup = %.2fx, want >= 2x (pre=%.2f post=%.2f)",
+			res.SpeedupPostVsPre, res.PreMBps, res.PostMBps)
+	}
+	if res.StallTime <= 0 {
+		t.Error("migration stall not measured")
+	}
+	if res.BarrierEpoch == 0 || res.MovedVolumes == 0 || res.MovedRecords == 0 {
+		t.Errorf("migration degenerate: %+v", res)
+	}
+	if res.MovedVolumes >= e15Volumes {
+		t.Errorf("all %d volumes moved; the stable hash must keep shard-0 residents in place", res.MovedVolumes)
+	}
+	if !res.NoopZeroMigration {
+		t.Error("unchanged reconcile migrated records or replaced the engine")
+	}
+	if res.BackgroundOrders == 0 {
+		t.Error("bystander tenants placed no orders during the reshard")
+	}
+	if !res.RacedWindow {
+		t.Error("failover run never raced the open migration window")
+	}
+	if !res.FailoverConsistent {
+		t.Errorf("mid-window failover image not an exact prefix: cut=%d lost=%d", res.CutWrites, res.LostWrites)
+	}
+	if res.CutWrites == 0 || res.LostWrites == 0 {
+		t.Errorf("failover scenario degenerate: cut=%d lost=%d", res.CutWrites, res.LostWrites)
+	}
+	t.Log("\n" + E15Table(res).String())
+}

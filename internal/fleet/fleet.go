@@ -13,7 +13,9 @@
 // provision additional tenants mid-run — initial copy under everyone else's
 // OLTP load — and Leaves decommission roster tenants mid-run, verifying
 // their volumes and journal shards return to the array free lists while the
-// survivors' consistency cuts stay untouched.
+// survivors' consistency cuts stay untouched. Reshards (E15 dynamic
+// resharding) re-declare a tenant's JournalShards mid-run, driving a live
+// epoch-barrier shard migration under everyone's load.
 package fleet
 
 import (
@@ -65,6 +67,12 @@ type Config struct {
 	// after completing (and verifying) their workload. Leaving tenants are
 	// excluded from the failover/analytics roles.
 	Leaves []LeaveSpec
+	// Reshards schedules mid-run shard-count changes: at each spec's After
+	// time the target tenant's JournalShards is re-declared and the live
+	// reshard (epoch-barrier migration, lanes reconfigured under drain)
+	// runs while the tenant — and the rest of the fleet — keeps serving
+	// OLTP load. Targets that have already left or failed over are skipped.
+	Reshards []ReshardSpec
 	// RPOSample, when > 0, samples every provisioned tenant's RPO on this
 	// period and records the worst observation on Tenant.MaxRPO — the
 	// victim-disturbance metric the elasticity experiment compares.
@@ -95,6 +103,16 @@ type LeaveSpec struct {
 	// After is the earliest virtual time the leave may begin; the tenant
 	// finishes and verifies its workload first, then waits for this.
 	After time.Duration
+}
+
+// ReshardSpec is one mid-run shard-count change.
+type ReshardSpec struct {
+	// Tenant is the roster index (initial or joined) to reshard.
+	Tenant int
+	// After is the virtual time the new shard count is declared.
+	After time.Duration
+	// Shards is the new drain-lane count (>= 1).
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +168,11 @@ type Tenant struct {
 	LeftAt          time.Duration // leave tenants: when reclamation finished
 	ReclaimOK       bool          // leave tenants: zero residue after leaving
 	MaxRPO          time.Duration // worst sampled RPO (RPOSample > 0)
+	Resharded       bool          // a scheduled mid-run reshard settled
+	ReshardTo       int           // lane count the reshard declared
+	ReshardAt       time.Duration // when the new shard count was declared
+	ReshardTime     time.Duration // declare -> migration settled
+	ReshardErr      error         // reshard skipped/failed (tenant gone, failed over)
 	Err             error
 
 	// active marks the span the RPO sampler observes: from Ready until the
@@ -259,6 +282,31 @@ func (f *Fleet) Run() error {
 		f.Sys.Env.Process("tenant:"+t.Namespace, func(p *sim.Proc) {
 			defer func() { t.active = false; f.running-- }()
 			t.Err = f.runTenant(p, t)
+		})
+	}
+	for _, rs := range f.Cfg.Reshards {
+		rs := rs
+		if rs.Tenant < 0 || rs.Tenant >= len(f.Tenants) || rs.Shards < 1 {
+			continue
+		}
+		t := f.Tenants[rs.Tenant]
+		f.Sys.Env.Process("reshard:"+t.Namespace, func(p *sim.Proc) {
+			if rs.After > p.Now() {
+				p.Sleep(rs.After - p.Now())
+			}
+			// A tenant that already left or lost its site has no drain to
+			// reshape; record the skip instead of failing the fleet.
+			if t.Left || (t.Failover && t.FailoverAt > 0 && t.FailoverAt <= p.Now()) {
+				t.ReshardErr = fmt.Errorf("fleet: reshard skipped: %s no longer draining", t.Namespace)
+				return
+			}
+			start := p.Now()
+			if err := f.Sys.ReshardTenant(p, t.Namespace, rs.Shards); err != nil {
+				t.ReshardErr = err
+				return
+			}
+			t.Resharded, t.ReshardTo = true, rs.Shards
+			t.ReshardAt, t.ReshardTime = start, p.Now()-start
 		})
 	}
 	if f.Cfg.RPOSample > 0 {
@@ -462,6 +510,9 @@ func (f *Fleet) verifySnapshot(p *sim.Proc, t *Tenant, tag string) error {
 type Totals struct {
 	Tenants, FailedOver, Analytics int
 	Joined, Left                   int // E14 churn outcomes
+	Resharded                      int // mid-run reshards that settled
+	MeanReshardTime                time.Duration
+	MaxReshardTime                 time.Duration
 	ReclaimFailures                int // leavers that left residue behind
 	Verified, Collapsed            int
 	OrdersPlaced                   int64
@@ -480,7 +531,7 @@ type Totals struct {
 // Totals sums the per-tenant outcomes.
 func (f *Fleet) Totals() Totals {
 	var tot Totals
-	var readySum, recoverySum, joinReadySum time.Duration
+	var readySum, recoverySum, joinReadySum, reshardSum time.Duration
 	for _, t := range f.Tenants {
 		tot.Tenants++
 		tot.OrdersPlaced += t.OrdersPlaced
@@ -503,6 +554,13 @@ func (f *Fleet) Totals() Totals {
 			tot.Left++
 			if !t.ReclaimOK {
 				tot.ReclaimFailures++
+			}
+		}
+		if t.Resharded {
+			tot.Resharded++
+			reshardSum += t.ReshardTime
+			if t.ReshardTime > tot.MaxReshardTime {
+				tot.MaxReshardTime = t.ReshardTime
 			}
 		}
 		if t.Verified {
@@ -529,6 +587,9 @@ func (f *Fleet) Totals() Totals {
 	}
 	if tot.Joined > 0 {
 		tot.MeanJoinReady = joinReadySum / time.Duration(tot.Joined)
+	}
+	if tot.Resharded > 0 {
+		tot.MeanReshardTime = reshardSum / time.Duration(tot.Resharded)
 	}
 	if tot.FailedOver > 0 {
 		tot.MeanRecovery = recoverySum / time.Duration(tot.FailedOver)

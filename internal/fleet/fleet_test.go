@@ -257,3 +257,63 @@ func TestFleetChurnDeterministicAcrossSeeds(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetMidRunReshard drives the Reshards churn schedule: one tenant is
+// widened 1->4 and another narrowed 2->1 mid-run while the whole fleet
+// serves OLTP load; both settle, the fleet stays fully consistent, and the
+// widened tenant ends on a multi-lane engine.
+func TestFleetMidRunReshard(t *testing.T) {
+	cfg := testConfig(8, 8)
+	cfg.JournalShards = 2
+	// Tenants 0-1 carry the failover role and 6-7 analytics; pick plain
+	// OLTP tenants so the reshard exercises a live drain, not a dead one.
+	cfg.Reshards = []ReshardSpec{
+		{Tenant: 2, After: 30 * time.Millisecond, Shards: 4},
+		{Tenant: 5, After: 40 * time.Millisecond, Shards: 1},
+	}
+	f := New(cfg)
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tot := f.Totals()
+	if tot.Verified != 8 || tot.Collapsed != 0 {
+		t.Fatalf("verdicts: %+v", tot)
+	}
+	if tot.Resharded != 2 || tot.MaxReshardTime <= 0 {
+		t.Fatalf("reshard outcomes: %+v (errs: %v, %v)", tot, f.Tenants[2].ReshardErr, f.Tenants[5].ReshardErr)
+	}
+	wide := f.Tenants[2]
+	if !wide.Resharded || wide.ReshardTo != 4 {
+		t.Fatalf("widened tenant: %+v", wide)
+	}
+	if gs := f.Sys.Groups(wide.Namespace); len(gs) != 1 || gs[0].Lanes() != 4 {
+		t.Fatalf("widened tenant lanes: %v", gs)
+	}
+	narrow := f.Tenants[5]
+	if !narrow.Resharded || narrow.ReshardTo != 1 {
+		t.Fatalf("narrowed tenant: %+v", narrow)
+	}
+	if gs := f.Sys.Groups(narrow.Namespace); len(gs) != 1 || gs[0].Lanes() != 1 {
+		t.Fatalf("narrowed tenant lanes: %v", gs)
+	}
+}
+
+// TestFleetReshardSkipsDepartedTenant pins the schedule's guard: a reshard
+// aimed at a tenant that decommissioned first is recorded as skipped, not a
+// fleet failure.
+func TestFleetReshardSkipsDepartedTenant(t *testing.T) {
+	cfg := testConfig(6, 4)
+	cfg.Leaves = []LeaveSpec{{Tenant: 2, After: 10 * time.Millisecond}}
+	cfg.Reshards = []ReshardSpec{{Tenant: 2, After: 4 * time.Second, Shards: 4}}
+	f := New(cfg)
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tn := f.Tenants[2]
+	if !tn.Left {
+		t.Fatalf("leaver never left: %+v", tn)
+	}
+	if tn.Resharded || tn.ReshardErr == nil {
+		t.Fatalf("reshard of departed tenant: resharded=%v err=%v", tn.Resharded, tn.ReshardErr)
+	}
+}

@@ -133,22 +133,25 @@ func (o *Operator) reconcile(p *sim.Proc, key platform.ObjectKey) error {
 		return fmt.Errorf("operator: namespace %s tagged but has no PVCs", ns.Name)
 	}
 
+	shards := o.cfg.JournalShards
+	if v, err := strconv.Atoi(ns.Labels[ShardsLabel]); err == nil && v > 0 {
+		shards = v
+	}
 	existing, err := o.api.Get(p, groupKey)
 	if err == nil {
-		// Keep the CR's PVC list current (a new claim may have appeared).
+		// Keep the CR's spec current: a new claim may have appeared, and a
+		// ShardsLabel change must propagate so the replication plugin drives
+		// a live reshard instead of the label being silently ignored.
 		rg := existing.(*platform.ReplicationGroup)
-		if equalStrings(rg.Spec.PVCNames, pvcNames) {
+		if equalStrings(rg.Spec.PVCNames, pvcNames) && rg.Spec.JournalShards == shards {
 			return nil
 		}
 		rg.Spec.PVCNames = pvcNames
+		rg.Spec.JournalShards = shards
 		return o.api.Update(p, rg)
 	}
 	if !errors.Is(err, platform.ErrNotFound) {
 		return err
-	}
-	shards := o.cfg.JournalShards
-	if v, err := strconv.Atoi(ns.Labels[ShardsLabel]); err == nil && v > 0 {
-		shards = v
 	}
 	rg := &platform.ReplicationGroup{
 		Meta: platform.Meta{Kind: platform.KindReplicationGroup, Name: groupKey.Name},

@@ -256,3 +256,49 @@ func TestShardsLabelOverridesJournalShards(t *testing.T) {
 		t.Fatalf("journal shards = %d, want default 2 on unparsable label", rg.Spec.JournalShards)
 	}
 }
+
+// TestShardsLabelUpdatePropagates pins the reshard entry point: changing
+// (or clearing) the backup-shards label on an already-configured namespace
+// must update the existing ReplicationGroup's JournalShards instead of
+// being silently ignored.
+func TestShardsLabelUpdatePropagates(t *testing.T) {
+	f := newFixture(t, Config{ConsistencyGroup: true, JournalShards: 1})
+	f.createNamespaceWithPVCs(t, "shop", map[string]string{Tag: TagValue, ShardsLabel: "2"}, "sales", "stock")
+	rg, ok := f.group(t, "shop")
+	if !ok || rg.Spec.JournalShards != 2 {
+		t.Fatalf("initial group shards = %+v", rg)
+	}
+	setLabel := func(val string) {
+		f.env.Process("relabel", func(p *sim.Proc) {
+			obj, err := f.api.Get(p, platform.ObjectKey{Kind: platform.KindNamespace, Name: "shop"})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ns := obj.(*platform.Namespace)
+			if val == "" {
+				delete(ns.Labels, ShardsLabel)
+			} else {
+				ns.Labels[ShardsLabel] = val
+			}
+			if err := f.api.Update(p, ns); err != nil {
+				t.Error(err)
+			}
+		})
+		f.runFor(time.Second)
+	}
+	setLabel("4")
+	if rg, ok = f.group(t, "shop"); !ok || rg.Spec.JournalShards != 4 {
+		t.Fatalf("after label 4: %+v", rg.Spec)
+	}
+	// Clearing the label falls back to the operator's deployment default.
+	setLabel("")
+	if rg, ok = f.group(t, "shop"); !ok || rg.Spec.JournalShards != 1 {
+		t.Fatalf("after label cleared: %+v", rg.Spec)
+	}
+	// An unparsable label keeps the default rather than zeroing the spec.
+	setLabel("nonsense")
+	if rg, ok = f.group(t, "shop"); !ok || rg.Spec.JournalShards != 1 {
+		t.Fatalf("after bad label: %+v", rg.Spec)
+	}
+}

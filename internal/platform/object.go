@@ -286,7 +286,11 @@ type TenantSpec struct {
 	// entries, fall back to QoSClass. Ignored unless JournalShards > 1.
 	LaneClasses []string
 	// JournalShards, when > 1, shards the tenant's consistency-group
-	// journal across that many drain lanes (0 = the system default).
+	// journal across that many drain lanes (0 = the system default). The
+	// field is MUTABLE: changing it on a provisioned tenant drives a live
+	// reshard — the controller chain seals an epoch barrier, re-places
+	// volumes on the new shard set, and reconfigures drain lanes while
+	// replication keeps running (core.System.ReshardTenant wraps this).
 	JournalShards int
 	// Profile names the tenant's workload shape. "" or "oltp" is the
 	// business process: ProvisionTenant opens the sales/stock databases and

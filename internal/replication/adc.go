@@ -48,10 +48,14 @@ type Group struct {
 	path    fabric.Path
 	cfg     Config
 
-	stopEv   *sim.Event
-	stopped  bool
-	caughtUp *sim.Event
-	inflight int
+	stopEv     *sim.Event
+	stopped    bool
+	caughtUp   *sim.Event
+	inflight   int
+	detachEv   *sim.Event // requests a batch-boundary drain halt
+	detachedEv *sim.Event // acknowledged: drain parked, nothing in flight
+	detachReq  bool
+	detached   bool
 
 	appliedSeq     int64
 	appliedRecords int64
@@ -85,15 +89,17 @@ func NewGroup(env *sim.Env, name string, journal *storage.Journal, target *stora
 		m[k] = v
 	}
 	return &Group{
-		env:      env,
-		name:     name,
-		journal:  journal,
-		target:   target,
-		mapping:  m,
-		path:     path,
-		cfg:      cfg.withDefaults(),
-		stopEv:   env.NewEvent(),
-		caughtUp: env.NewEvent(),
+		env:        env,
+		name:       name,
+		journal:    journal,
+		target:     target,
+		mapping:    m,
+		path:       path,
+		cfg:        cfg.withDefaults(),
+		stopEv:     env.NewEvent(),
+		caughtUp:   env.NewEvent(),
+		detachEv:   env.NewEvent(),
+		detachedEv: env.NewEvent(),
 	}, nil
 }
 
@@ -152,6 +158,13 @@ func (g *Group) Stopped() bool { return g.stopped }
 
 func (g *Group) drain(p *sim.Proc) {
 	for {
+		// A detach lands here — a batch boundary — so nothing is ever in
+		// flight when the acknowledgement fires.
+		if g.detachReq {
+			g.detached = true
+			g.detachedEv.Trigger()
+			return
+		}
 		// The batch scratch is reused across iterations; records that
 		// outlive the batch (applyLog, lost) are copied out by value below.
 		recs := g.journal.TryTakeInto(g.batch, g.cfg.BatchMax)
@@ -162,7 +175,12 @@ func (g *Group) drain(p *sim.Proc) {
 			if !g.caughtUp.Triggered() {
 				g.caughtUp.Trigger()
 			}
-			if p.WaitAny(g.journal.NotEmpty(), g.stopEv) == 1 {
+			switch p.WaitAny(g.journal.NotEmpty(), g.stopEv, g.detachEv) {
+			case 1:
+				return
+			case 2:
+				g.detached = true
+				g.detachedEv.Trigger()
 				return
 			}
 			if g.stopped {
@@ -203,6 +221,35 @@ func (g *Group) drain(p *sim.Proc) {
 		}
 	}
 }
+
+// Detach halts the drain at a batch boundary WITHOUT the record loss a
+// disaster split (Stop) models: any in-flight batch finishes its transfer
+// and apply, then the drain parks and the journal's remaining backlog stays
+// pending — ready for another engine to adopt it. This is the planned
+// handoff the live 1→N reshard upgrade uses to replace a plain group with a
+// sharded one. The group never drains again after Detach returns.
+func (g *Group) Detach(p *sim.Proc) error {
+	if g.stopped {
+		return fmt.Errorf("replication: %s: %w", g.name, ErrStopped)
+	}
+	if g.detached {
+		return nil
+	}
+	g.detachReq = true
+	g.detachEv.Trigger()
+	if g.drainProc == nil {
+		// Never started: nothing in flight by construction.
+		g.detached = true
+		return nil
+	}
+	if p.WaitAny(g.detachedEv, g.stopEv) == 1 {
+		return fmt.Errorf("replication: %s: %w", g.name, ErrStopped)
+	}
+	return nil
+}
+
+// Detached reports whether Detach completed.
+func (g *Group) Detached() bool { return g.detached }
 
 // CatchUp blocks until the journal is drained and every record applied, or
 // the group stops. It reports whether the group fully caught up.

@@ -1,11 +1,21 @@
 package replication
 
 import (
+	"errors"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
+
+// ErrReshardUnsupported reports a live Reshard request on an engine that
+// cannot reconfigure its lane set in place. The plain single-lane Group is
+// the only such engine: a 1→N transition instead goes through a planned
+// handoff (Group.Detach, storage.Array.ConvertToSharded, a fresh
+// ShardedGroup over the adopted journal) — the replication plugin drives
+// that sequence.
+var ErrReshardUnsupported = errors.New("replication: engine does not support live reshard")
 
 // Replicator is the control-plane-facing surface of an ADC engine. Two
 // implementations exist: Group drains one shared journal on one lane (the
@@ -39,6 +49,15 @@ type Replicator interface {
 	// engines; its shards carry derived IDs).
 	JournalID() string
 
+	// Lanes returns the engine's active drain-lane count (1 for the plain
+	// engine). The reconcile loop diffs it against the declared shard count
+	// to detect reshard work.
+	Lanes() int
+	// Reshard transitions the engine to len(paths) drain lanes via an
+	// epoch-bounded live migration (lane k drains shard k over paths[k]).
+	// Engines that cannot reconfigure in place return ErrReshardUnsupported.
+	Reshard(p *sim.Proc, paths []fabric.Path) (storage.ReshardStats, error)
+
 	Failover() ([]*storage.Volume, error)
 	FailedOver() bool
 }
@@ -54,3 +73,12 @@ func (g *Group) Members() []storage.VolumeID { return g.journal.Members() }
 
 // JournalID returns the source journal's identifier.
 func (g *Group) JournalID() string { return g.journal.ID() }
+
+// Lanes returns 1: the plain engine drains on a single lane.
+func (g *Group) Lanes() int { return 1 }
+
+// Reshard on the plain engine is unsupported — the control plane upgrades
+// to a sharded engine instead (Detach + ConvertToSharded + NewShardedGroup).
+func (g *Group) Reshard(p *sim.Proc, paths []fabric.Path) (storage.ReshardStats, error) {
+	return storage.ReshardStats{}, ErrReshardUnsupported
+}

@@ -2,6 +2,7 @@ package replication
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/fabric"
@@ -39,14 +40,27 @@ type ShardedGroup struct {
 	mapping map[storage.VolumeID]storage.VolumeID
 	cfg     Config
 
-	lanes []*drainLane
+	lanes    []*drainLane // active lanes, index-aligned with journal shards
+	retiring []*drainLane // lanes of retired shards, draining their last staged records
 
-	stopEv     *sim.Event
-	stopped    bool
-	failedOver bool
-	started    bool
-	progress   *sim.Event // pulsed by lanes as they stage; the barrier wait
-	committed  *sim.Event // pulsed per epoch commit; CatchUp waits on it
+	stopEv       *sim.Event
+	stopped      bool
+	failedOver   bool
+	started      bool
+	progress     *sim.Event // pulsed by lanes as they stage; the barrier wait
+	committed    *sim.Event // pulsed per epoch commit; CatchUp waits on it
+	reconfigured *sim.Event // pulsed by Reshard; wakes the coordinator onto the new lane set
+
+	// Reshard state. While resharding is set, one volume's staged records
+	// can be split across two lanes (its old shard's lane staged pre-barrier
+	// records, its new shard's lane stages post-barrier ones), so epoch
+	// commits apply in global ack (GlobalSeq) order instead of lane order.
+	// The window closes — and retiring lanes are reaped — once every record
+	// of epochs <= the migration barrier is committed at the target.
+	resharding       bool
+	migrationBarrier int64
+	reshardSettled   *sim.Event // re-armed per reshard; AwaitReshard waits on it
+	reshards         int64
 
 	committedEpoch   int64
 	epochCommits     int64
@@ -71,6 +85,10 @@ type drainLane struct {
 	inflight      int           // records mid-transfer on the lane path
 	inflightEpoch int64         // epoch of the first in-flight record
 	inflightAck   time.Duration // ack time of the first in-flight record
+
+	// retire is triggered by the coordinator once a retiring lane has
+	// nothing left to drain, stage, or commit; the lane process exits on it.
+	retire *sim.Event
 }
 
 // NewShardedGroup wires a sharded source journal to target volumes. paths
@@ -95,20 +113,26 @@ func NewShardedGroup(env *sim.Env, name string, journal *storage.ShardedJournal,
 		m[k] = v
 	}
 	g := &ShardedGroup{
-		env:       env,
-		name:      name,
-		journal:   journal,
-		target:    target,
-		mapping:   m,
-		cfg:       cfg.withDefaults(),
-		stopEv:    env.NewEvent(),
-		progress:  env.NewEvent(),
-		committed: env.NewEvent(),
+		env:            env,
+		name:           name,
+		journal:        journal,
+		target:         target,
+		mapping:        m,
+		cfg:            cfg.withDefaults(),
+		stopEv:         env.NewEvent(),
+		progress:       env.NewEvent(),
+		committed:      env.NewEvent(),
+		reconfigured:   env.NewEvent(),
+		reshardSettled: env.NewEvent(),
 	}
 	for i, shard := range journal.Shards() {
-		g.lanes = append(g.lanes, &drainLane{idx: i, journal: shard, path: paths[i]})
+		g.lanes = append(g.lanes, g.newLane(i, shard, paths[i]))
 	}
 	return g, nil
+}
+
+func (g *ShardedGroup) newLane(idx int, shard *storage.Journal, path fabric.Path) *drainLane {
+	return &drainLane{idx: idx, journal: shard, path: path, retire: g.env.NewEvent()}
 }
 
 // Name returns the group name.
@@ -123,7 +147,8 @@ func (g *ShardedGroup) JournalID() string { return g.journal.ID() }
 // Members returns the consistency group's volumes in attach order.
 func (g *ShardedGroup) Members() []storage.VolumeID { return g.journal.Members() }
 
-// Lanes returns the number of drain lanes (= journal shards).
+// Lanes returns the number of active drain lanes (= journal shards);
+// retiring lanes mid-reshard are excluded.
 func (g *ShardedGroup) Lanes() int { return len(g.lanes) }
 
 // InitialCopy performs the ADC initialization bulk copy: every written
@@ -188,8 +213,11 @@ func (g *ShardedGroup) drainLane(p *sim.Proc, l *drainLane) {
 		}
 		if recs == nil {
 			g.pulseProgress()
-			if p.WaitAny(l.journal.NotEmpty(), g.stopEv) == 1 {
+			switch p.WaitAny(l.journal.NotEmpty(), g.stopEv, l.retire) {
+			case 1:
 				return
+			case 2:
+				return // retired: staged records were committed, shard is empty
 			}
 			if g.stopped {
 				return
@@ -231,8 +259,19 @@ func (g *ShardedGroup) stagedThrough(l *drainLane) int64 {
 	return through
 }
 
+// commitLanes returns every lane that can hold uncommitted records: the
+// active set plus lanes retiring after a shrink reshard.
+func (g *ShardedGroup) commitLanes() []*drainLane {
+	if len(g.retiring) == 0 {
+		return g.lanes
+	}
+	out := make([]*drainLane, 0, len(g.lanes)+len(g.retiring))
+	out = append(out, g.lanes...)
+	return append(out, g.retiring...)
+}
+
 func (g *ShardedGroup) allStagedThrough(epoch int64) bool {
-	for _, l := range g.lanes {
+	for _, l := range g.commitLanes() {
 		if g.stagedThrough(l) < epoch {
 			return false
 		}
@@ -242,18 +281,21 @@ func (g *ShardedGroup) allStagedThrough(epoch int64) bool {
 
 // coordinate runs the epoch cycle: seal whenever there is backlog, wait for
 // every lane to stage its share of the sealed epoch (the barrier), commit
-// the epoch atomically at the target, repeat.
+// the epoch atomically at the target, repeat. After a reshard it also
+// settles the migration window and reaps retiring lanes once their last
+// staged records are committed.
 func (g *ShardedGroup) coordinate(p *sim.Proc) {
 	for {
 		if g.stopped {
 			return
 		}
+		g.settleReshard()
 		if g.backlogRecords() == 0 {
-			evs := make([]*sim.Event, 0, len(g.lanes)+1)
+			evs := make([]*sim.Event, 0, len(g.lanes)+2)
 			for _, l := range g.lanes {
 				evs = append(evs, l.journal.NotEmpty())
 			}
-			evs = append(evs, g.stopEv)
+			evs = append(evs, g.reconfiguredEv(), g.stopEv)
 			if p.WaitAny(evs...) == len(evs)-1 {
 				return
 			}
@@ -279,13 +321,27 @@ func (g *ShardedGroup) coordinate(p *sim.Proc) {
 // and exposes them atomically. The backup array works through the delta set
 // with its controller parallelism, then installs the cut in one instant —
 // which is why a failover can never observe a half-applied epoch.
+//
+// In steady state the apply iterates lane by lane: placement pins a volume
+// to one shard, so per-volume order is each lane's staged order, and each
+// staged list is epoch-monotone (it mirrors the shard backlog's order) —
+// the "epoch > sealed" prefix scan is exact. During a reshard window
+// NEITHER holds: a migrated volume's records can sit on two lanes, and
+// migration can stage sealed-epoch records BEHIND open-epoch ones on a
+// surviving lane. So the window's commits scan every staged record (no
+// prefix break — a short scan would commit an epoch with holes and break
+// the failover prefix) and apply in global ack (GlobalSeq) order.
 func (g *ShardedGroup) commitEpoch(p *sim.Proc, sealed int64) {
+	lanes := g.commitLanes()
 	var count int
 	var bytes int64
-	for _, l := range g.lanes {
+	for _, l := range lanes {
 		for _, r := range l.staged {
 			if r.Epoch > sealed {
-				break
+				if !g.resharding {
+					break
+				}
+				continue
 			}
 			count++
 			bytes += int64(len(r.Data))
@@ -300,30 +356,47 @@ func (g *ShardedGroup) commitEpoch(p *sim.Proc, sealed int64) {
 		// records are part of UnappliedRecords.
 		return
 	}
-	for _, l := range g.lanes {
-		n := 0
-		for _, r := range l.staged {
-			if r.Epoch > sealed {
-				break
+	if g.resharding {
+		merged := make([]storage.Record, 0, count)
+		for _, l := range lanes {
+			for _, r := range l.staged {
+				if r.Epoch <= sealed {
+					merged = append(merged, r)
+				}
 			}
-			tv, err := g.target.Volume(g.mapping[r.Volume])
-			if err != nil {
-				panic(fmt.Sprintf("replication %s: target vanished: %v", g.name, err))
-			}
-			if err := tv.InstallDelta(r.Block, r.Data); err != nil {
-				panic(fmt.Sprintf("replication %s: commit: %v", g.name, err))
-			}
-			if r.AckedAt > g.lastCommittedAck {
-				g.lastCommittedAck = r.AckedAt
-			}
-			g.applyLog = append(g.applyLog, r)
-			n++
 		}
-		rest := copy(l.staged, l.staged[n:])
-		for i := rest; i < len(l.staged); i++ {
-			l.staged[i] = storage.Record{}
+		sort.Slice(merged, func(i, j int) bool { return merged[i].GlobalSeq < merged[j].GlobalSeq })
+		for _, r := range merged {
+			g.install(r)
 		}
-		l.staged = l.staged[:rest]
+		for _, l := range lanes {
+			kept := l.staged[:0]
+			for _, r := range l.staged {
+				if r.Epoch > sealed {
+					kept = append(kept, r)
+				}
+			}
+			for i := len(kept); i < len(l.staged); i++ {
+				l.staged[i] = storage.Record{}
+			}
+			l.staged = kept
+		}
+	} else {
+		for _, l := range lanes {
+			n := 0
+			for _, r := range l.staged {
+				if r.Epoch > sealed {
+					break
+				}
+				g.install(r)
+				n++
+			}
+			rest := copy(l.staged, l.staged[n:])
+			for i := rest; i < len(l.staged); i++ {
+				l.staged[i] = storage.Record{}
+			}
+			l.staged = l.staged[:rest]
+		}
 	}
 	g.appliedRecords += int64(count)
 	g.appliedBytes += bytes
@@ -332,6 +405,21 @@ func (g *ShardedGroup) commitEpoch(p *sim.Proc, sealed int64) {
 	if !g.committed.Triggered() {
 		g.committed.Trigger()
 	}
+}
+
+// install writes one committed record into its target volume.
+func (g *ShardedGroup) install(r storage.Record) {
+	tv, err := g.target.Volume(g.mapping[r.Volume])
+	if err != nil {
+		panic(fmt.Sprintf("replication %s: target vanished: %v", g.name, err))
+	}
+	if err := tv.InstallDelta(r.Block, r.Data); err != nil {
+		panic(fmt.Sprintf("replication %s: commit: %v", g.name, err))
+	}
+	if r.AckedAt > g.lastCommittedAck {
+		g.lastCommittedAck = r.AckedAt
+	}
+	g.applyLog = append(g.applyLog, r)
 }
 
 func (g *ShardedGroup) pulseProgress() {
@@ -354,11 +442,25 @@ func (g *ShardedGroup) committedEv() *sim.Event {
 	return g.committed
 }
 
+func (g *ShardedGroup) pulseReconfigured() {
+	if !g.reconfigured.Triggered() {
+		g.reconfigured.Trigger()
+	}
+}
+
+func (g *ShardedGroup) reconfiguredEv() *sim.Event {
+	if g.reconfigured.Triggered() {
+		g.reconfigured = g.env.NewEvent()
+	}
+	return g.reconfigured
+}
+
 // backlogRecords counts every record not yet committed at the target:
-// journal pending, in flight on a lane path, or staged awaiting a commit.
+// journal pending, in flight on a lane path, or staged awaiting a commit —
+// on active and retiring lanes alike.
 func (g *ShardedGroup) backlogRecords() int {
 	var n int
-	for _, l := range g.lanes {
+	for _, l := range g.commitLanes() {
 		n += l.journal.Pending() + l.inflight + len(l.staged)
 	}
 	return n
@@ -388,7 +490,7 @@ func (g *ShardedGroup) RPO(now time.Duration) time.Duration {
 			oldest, found = t, true
 		}
 	}
-	for _, l := range g.lanes {
+	for _, l := range g.commitLanes() {
 		if t, ok := l.journal.OldestPendingAck(); ok {
 			note(t)
 		}
@@ -430,7 +532,7 @@ func (g *ShardedGroup) ApplyLog() []storage.Record { return g.applyLog }
 // records, and batches abandoned mid-transfer at a split.
 func (g *ShardedGroup) UnappliedRecords() []storage.Record {
 	out := append([]storage.Record(nil), g.lost...)
-	for _, l := range g.lanes {
+	for _, l := range g.commitLanes() {
 		out = append(out, l.staged...)
 		out = append(out, l.journal.PendingRecords()...)
 	}
@@ -444,6 +546,139 @@ func (g *ShardedGroup) Mapping() map[storage.VolumeID]storage.VolumeID {
 		m[k] = v
 	}
 	return m
+}
+
+// Reshard transitions the running engine to len(paths) drain lanes with an
+// epoch-bounded live migration — the replication half of a dynamic reshard:
+//
+//  1. the journal seals the open epoch as the migration barrier and
+//     re-places volumes (migrating only those whose stable-hash assignment
+//     changes, their pending records moving with them);
+//  2. lanes whose shard survives keep draining untouched; lanes for added
+//     shards start immediately on their own paths; lanes of retired shards
+//     stop taking (their journals are empty after migration) and only live
+//     on to commit what they had staged or in flight;
+//  3. until every pre-barrier record is committed, epoch commits apply in
+//     global ack order (see commitEpoch) — so the backup image remains an
+//     exact ack-order prefix throughout, and a failover raced into the
+//     migration window recovers either entirely pre- or entirely
+//     post-barrier state;
+//  4. once the barrier commits, retiring lanes are reaped and their shard
+//     journals decommissioned back to the array.
+//
+// Resharding to the current lane count is a no-op (zero migration, no
+// barrier). A second reshard is refused while one is still settling.
+func (g *ShardedGroup) Reshard(p *sim.Proc, paths []fabric.Path) (storage.ReshardStats, error) {
+	var zero storage.ReshardStats
+	if g.stopped {
+		return zero, fmt.Errorf("replication: %s: %w", g.name, ErrStopped)
+	}
+	if g.failedOver {
+		return zero, fmt.Errorf("replication: %s: cannot reshard a failed-over group", g.name)
+	}
+	if len(paths) < 1 {
+		return zero, fmt.Errorf("replication: %s: reshard to %d lanes", g.name, len(paths))
+	}
+	if len(paths) == len(g.lanes) {
+		return storage.ReshardStats{From: len(g.lanes), To: len(g.lanes)}, nil
+	}
+	if g.resharding || len(g.retiring) > 0 {
+		return zero, fmt.Errorf("replication: %s: reshard already in progress", g.name)
+	}
+	stats, err := g.journal.Reshard(len(paths))
+	if err != nil {
+		return stats, err
+	}
+	g.resharding = true
+	g.migrationBarrier = stats.BarrierEpoch
+	g.reshardSettled = g.env.NewEvent()
+	g.reshards++
+
+	shards := g.journal.Shards()
+	if len(shards) < len(g.lanes) {
+		// Shrink: lanes beyond the new shard set retire. Their journals are
+		// already empty (migration moved the backlog), so they exit as soon
+		// as anything they had staged or in flight reaches a commit.
+		g.retiring = append(g.retiring, g.lanes[len(shards):]...)
+		g.lanes = g.lanes[:len(shards):len(shards)]
+	}
+	for k := len(g.lanes); k < len(shards); k++ {
+		l := g.newLane(k, shards[k], paths[k])
+		g.lanes = append(g.lanes, l)
+		if g.started {
+			g.env.Process(fmt.Sprintf("adc-lane:%s:s%d", g.name, l.idx), func(p *sim.Proc) { g.drainLane(p, l) })
+		}
+	}
+	// Wake the coordinator onto the new lane set; migration may also have
+	// unblocked a sealed-epoch barrier wait by moving records around.
+	g.pulseReconfigured()
+	g.pulseProgress()
+	// A reshard with nothing pre-barrier outstanding settles immediately.
+	g.settleReshard()
+	return stats, nil
+}
+
+// settleReshard closes the migration window once every record of epochs <=
+// the barrier is committed at the target, then reaps retiring lanes and
+// decommissions their shard journals.
+func (g *ShardedGroup) settleReshard() {
+	if !g.resharding && len(g.retiring) == 0 {
+		return
+	}
+	if g.resharding {
+		if !g.allStagedThrough(g.migrationBarrier) {
+			return
+		}
+		for _, l := range g.commitLanes() {
+			if len(l.staged) > 0 && l.staged[0].Epoch <= g.migrationBarrier {
+				return
+			}
+		}
+		g.resharding = false
+	}
+	kept := g.retiring[:0]
+	for _, l := range g.retiring {
+		if l.journal.Pending() == 0 && l.inflight == 0 && len(l.staged) == 0 {
+			l.retire.Trigger()
+		} else {
+			kept = append(kept, l)
+		}
+	}
+	for i := len(kept); i < len(g.retiring); i++ {
+		g.retiring[i] = nil
+	}
+	g.retiring = kept
+	if len(g.retiring) == 0 {
+		g.journal.DecommissionRetired()
+		if !g.reshardSettled.Triggered() {
+			g.reshardSettled.Trigger()
+		}
+	}
+}
+
+// Resharding reports whether a migration window is still open (pre-barrier
+// records not yet committed, or retiring lanes not yet reaped).
+func (g *ShardedGroup) Resharding() bool { return g.resharding || len(g.retiring) > 0 }
+
+// Reshards returns the lifetime count of lane-set transitions.
+func (g *ShardedGroup) Reshards() int64 { return g.reshards }
+
+// MigrationBarrier returns the epoch sealed by the most recent reshard.
+func (g *ShardedGroup) MigrationBarrier() int64 { return g.migrationBarrier }
+
+// AwaitReshard blocks until the most recent reshard has fully settled (the
+// barrier epoch committed, retiring lanes reaped, retired shard journals
+// decommissioned), reporting false if the group stops first.
+func (g *ShardedGroup) AwaitReshard(p *sim.Proc) bool {
+	for g.Resharding() {
+		if g.stopped {
+			return false
+		}
+		if p.WaitAny(g.reshardSettled, g.stopEv) == 1 {
+			return false
+		}
+	}
+	return true
 }
 
 // Failover stops replication and makes every target volume writable,

@@ -22,17 +22,28 @@ import (
 // entries. Entries are recycled through a free-list, so steady-state
 // scheduling allocates nothing — the kernel hot path is what bounds how
 // large a scenario (e.g. the E11 tenant fleet) is affordable.
+//
+// Same-timestamp resumes are batched: an entry scheduled AT the current
+// instant while the loop is running (the bulk of event traffic — every
+// Event.Trigger resumes its waiters "now") bypasses the heap into a FIFO
+// that drains before time advances. Entries created during an instant
+// always carry larger seqs than every heap entry due at that instant, so
+// processing heap-due-now first and then the FIFO preserves the exact
+// (at, seq) total order the heap alone would produce — batching changes
+// the cost per resume, never the schedule.
 type Env struct {
-	now     time.Duration
-	slab    []scheduled // entry storage; index 0 is a reserved sentinel
-	heap    []int32     // heap of slab indexes ordered by (at, seq)
-	free    []int32     // recycled slab indexes
-	seq     int64       // tiebreaker for events at the same timestamp
-	rng     *rand.Rand
-	yield   chan struct{} // signalled by a process when it blocks or exits
-	running bool
-	blocked int // processes waiting on an untriggered Event
-	procs   int // live (started, unfinished) processes
+	now       time.Duration
+	slab      []scheduled // entry storage; index 0 is a reserved sentinel
+	heap      []int32     // heap of slab indexes ordered by (at, seq)
+	today     []int32     // FIFO of entries due at the current instant
+	todayHead int         // next today entry to pop
+	free      []int32     // recycled slab indexes
+	seq       int64       // tiebreaker for events at the same timestamp
+	rng       *rand.Rand
+	yield     chan struct{} // signalled by a process when it blocks or exits
+	running   bool
+	blocked   int // processes waiting on an untriggered Event
+	procs     int // live (started, unfinished) processes
 }
 
 // NewEnv returns an environment whose random source is seeded with seed.
@@ -93,7 +104,15 @@ func (e *Env) scheduleEntry(p *Proc, at time.Duration) entryRef {
 	e.seq++
 	id := e.allocEntry()
 	e.slab[id] = scheduled{at: at, seq: e.seq, proc: p}
-	e.heapPush(id)
+	// Same-instant fast path: while the loop is draining the current
+	// instant, a resume due "now" skips both heap sifts — FIFO order is seq
+	// order because seq only grows. Outside Run the heap keeps everything,
+	// so pre-run setup entries order with scheduled ones as before.
+	if e.running && at == e.now {
+		e.today = append(e.today, id)
+	} else {
+		e.heapPush(id)
+	}
 	return id
 }
 
@@ -163,25 +182,48 @@ func (e *Env) Run(horizon time.Duration) time.Duration {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.heap) > 0 {
-		top := e.heap[0]
-		if horizon > 0 && e.slab[top].at > horizon {
-			e.now = horizon
+	for {
+		// Drain the current instant: heap entries due now first (their seqs
+		// precede every FIFO entry, which was created during this instant),
+		// then the same-timestamp FIFO, which may grow as processes resume.
+		var top entryRef
+		switch {
+		case len(e.heap) > 0 && e.slab[e.heap[0]].at <= e.now:
+			top = e.heapPop()
+		case e.todayHead < len(e.today):
+			top = e.today[e.todayHead]
+			e.todayHead++
+		case e.todayHead > 0:
+			// Instant fully drained: recycle the FIFO backing storage.
+			e.today = e.today[:0]
+			e.todayHead = 0
+			continue
+		case len(e.heap) > 0:
+			// Advance time to the next live entry — canceled timers and
+			// finished procs are dropped first so they never move the clock.
+			next := e.heap[0]
+			if e.slab[next].canceled || e.slab[next].proc.done {
+				e.heapPop()
+				e.freeEntry(next)
+				continue
+			}
+			if horizon > 0 && e.slab[next].at > horizon {
+				e.now = horizon
+				return e.now
+			}
+			e.now = e.slab[next].at
+			continue
+		default:
 			return e.now
 		}
-		e.heapPop()
 		// Copy out before recycling: step() may schedule and reuse this slot.
 		ent := e.slab[top]
 		e.freeEntry(top)
 		if ent.canceled || ent.proc.done {
 			continue
 		}
-		if ent.at > e.now {
-			e.now = ent.at
-		}
 		e.step(ent.proc)
 	}
-	return e.now
 }
 
 // step resumes one process and waits for it to block or finish.
@@ -190,9 +232,13 @@ func (e *Env) step(p *Proc) {
 	<-e.yield
 }
 
+// queued returns the number of pending entries across the heap and the
+// same-instant FIFO.
+func (e *Env) queued() int { return len(e.heap) + len(e.today) - e.todayHead }
+
 // Idle reports whether no events are pending. Processes blocked on
 // untriggered events do not count as pending work.
-func (e *Env) Idle() bool { return len(e.heap) == 0 }
+func (e *Env) Idle() bool { return e.queued() == 0 }
 
 // Blocked returns the number of live processes waiting on events that have
 // not triggered. A nonzero value after Run returns usually indicates a
@@ -204,5 +250,5 @@ func (e *Env) Blocked() int { return e.blocked }
 func (e *Env) Procs() int { return e.procs }
 
 func (e *Env) String() string {
-	return fmt.Sprintf("sim.Env{now=%v queued=%d procs=%d blocked=%d}", e.now, len(e.heap), e.procs, e.blocked)
+	return fmt.Sprintf("sim.Env{now=%v queued=%d procs=%d blocked=%d}", e.now, e.queued(), e.procs, e.blocked)
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -322,5 +323,85 @@ func TestProcessAtDelaysStart(t *testing.T) {
 	env.Run(0)
 	if started != 50*time.Millisecond {
 		t.Fatalf("started at %v, want 50ms", started)
+	}
+}
+
+// TestSameInstantFIFOOrdersAfterHeapDue pins the same-timestamp batching
+// contract: entries already scheduled FOR an instant (via the heap) run
+// before entries created AT that instant (the FIFO fast path), and FIFO
+// entries run in creation order — the exact (at, seq) total order the heap
+// alone would produce.
+func TestSameInstantFIFOOrdersAfterHeapDue(t *testing.T) {
+	env := NewEnv(1)
+	var order []string
+	ev := env.NewEvent()
+	// Three waiters park on ev; the trigger resumes them through the FIFO.
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Process("w", func(p *Proc) {
+			p.Wait(ev)
+			order = append(order, fmt.Sprintf("w%d", i))
+		})
+	}
+	// Two sleepers due at the trigger instant but scheduled earlier: they
+	// carry smaller seqs, so they must run before every resumed waiter.
+	env.Process("trigger", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		ev.Trigger()
+		order = append(order, "trigger")
+	})
+	env.Process("due", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		order = append(order, "due")
+	})
+	env.Run(0)
+	want := []string{"trigger", "due", "w0", "w1", "w2"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// TestSameInstantChainDrainsBeforeTimeAdvances checks that a chain of
+// processes resuming each other at one instant all run before the clock
+// moves, and that Idle accounts for FIFO entries.
+func TestSameInstantChainDrainsBeforeTimeAdvances(t *testing.T) {
+	env := NewEnv(1)
+	const depth = 50
+	evs := make([]*Event, depth+1)
+	for i := range evs {
+		evs[i] = env.NewEvent()
+	}
+	var ats []time.Duration
+	for i := 0; i < depth; i++ {
+		i := i
+		env.Process("link", func(p *Proc) {
+			p.Wait(evs[i])
+			ats = append(ats, p.Now())
+			evs[i+1].Trigger()
+		})
+	}
+	var lastAt time.Duration
+	env.Process("tail", func(p *Proc) {
+		p.Sleep(3 * time.Millisecond)
+		lastAt = p.Now()
+	})
+	env.Process("head", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		evs[0].Trigger()
+	})
+	env.Run(0)
+	if len(ats) != depth {
+		t.Fatalf("chain ran %d links, want %d", len(ats), depth)
+	}
+	for _, at := range ats {
+		if at != time.Millisecond {
+			t.Fatalf("chain link ran at %v, want 1ms", at)
+		}
+	}
+	if lastAt != 3*time.Millisecond {
+		t.Fatalf("tail ran at %v, want 3ms", lastAt)
+	}
+	if !env.Idle() {
+		t.Fatalf("env not idle after run: %v", env)
 	}
 }

@@ -251,6 +251,66 @@ func (j *Journal) TakeTimeout(p *sim.Proc, max int, d time.Duration) []Record {
 
 func (j *Journal) takeReady(max int) []Record { return j.takeReadyInto(nil, max) }
 
+// pendingBytesOf returns the wire size of one volume's share of the
+// backlog (the reshard capacity check sums these per destination shard).
+func (j *Journal) pendingBytesOf(vol VolumeID) int {
+	var n int
+	for _, r := range j.pending {
+		if r.Volume == vol {
+			n += r.SizeBytes()
+		}
+	}
+	return n
+}
+
+// takeVolume extracts every pending record of one volume, preserving the
+// relative order of both the extracted and the remaining records. The
+// sharded-journal reshard uses it to migrate a re-placed volume's backlog
+// onto its new shard; counters are untouched (the records were appended
+// once and will still be drained once, just elsewhere).
+func (j *Journal) takeVolume(vol VolumeID) []Record {
+	var out []Record
+	kept := j.pending[:0]
+	for _, r := range j.pending {
+		if r.Volume == vol {
+			out = append(out, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	for i := len(kept); i < len(j.pending); i++ {
+		j.pending[i] = Record{}
+	}
+	j.pending = kept
+	return out
+}
+
+// mergeIn splices records into the pending backlog by GlobalSeq — the
+// array-wide ack order. Both the backlog and recs are GlobalSeq-ascending
+// (append order is ack order), so the merge keeps the result ascending,
+// which in turn keeps epochs non-decreasing: the invariant
+// OldestPendingEpoch readers (the multi-lane drain's barrier math) rely on.
+func (j *Journal) mergeIn(recs []Record) {
+	if len(recs) == 0 {
+		return
+	}
+	merged := make([]Record, 0, len(j.pending)+len(recs))
+	a, b := j.pending, recs
+	for len(a) > 0 && len(b) > 0 {
+		if a[0].GlobalSeq <= b[0].GlobalSeq {
+			merged = append(merged, a[0])
+			a = a[1:]
+		} else {
+			merged = append(merged, b[0])
+			b = b[1:]
+		}
+	}
+	merged = append(merged, a...)
+	merged = append(merged, b...)
+	j.pending = merged
+	j.notEmpty.Trigger()
+}
+
 func (j *Journal) takeReadyInto(buf []Record, max int) []Record {
 	if max <= 0 || max > len(j.pending) {
 		max = len(j.pending)

@@ -35,6 +35,21 @@ type ShardedJournal struct {
 	members []VolumeID       // attach order
 	epoch   int64            // current open epoch (starts at 1)
 
+	// capacityPerShard is inherited by shards added in a reshard.
+	capacityPerShard int
+
+	// retired holds shard journals dropped by a shrink reshard, kept until
+	// their last in-flight records are accounted for and DecommissionRetired
+	// releases them back to the array.
+	retired []*Journal
+
+	// Reshard counters: lifetime transitions and migrated work. A
+	// shard-count-unchanged reconcile must leave all three untouched — the
+	// zero-migration invariant E15 verifies.
+	reshards     int64
+	movedVolumes int64
+	movedRecords int64
+
 	overflowed bool
 	overflows  int64
 }
@@ -81,11 +96,12 @@ func (a *Array) CreateShardedConsistencyGroupSized(id string, vols []VolumeID, s
 		}
 	}
 	sj := &ShardedJournal{
-		env:   a.env,
-		array: a,
-		id:    id,
-		byVol: make(map[VolumeID]int, len(vols)),
-		epoch: 1,
+		env:              a.env,
+		array:            a,
+		id:               id,
+		byVol:            make(map[VolumeID]int, len(vols)),
+		epoch:            1,
+		capacityPerShard: capacityPerShard,
 	}
 	for k := 0; k < shards; k++ {
 		j := newJournal(a.env, a, shardJournalID(id, k), capacityPerShard)
@@ -124,7 +140,8 @@ func (a *Array) ShardedJournal(id string) (*ShardedJournal, error) {
 }
 
 // DeleteShardedJournal detaches every member volume and removes the group's
-// shard journals.
+// shard journals, including shards retired by a reshard but not yet
+// decommissioned (a teardown racing a live reshard must not leak them).
 func (a *Array) DeleteShardedJournal(id string) error {
 	sj, ok := a.sharded[id]
 	if !ok {
@@ -135,8 +152,53 @@ func (a *Array) DeleteShardedJournal(id string) error {
 			return err
 		}
 	}
+	for _, j := range sj.retired {
+		if err := a.DeleteJournal(j.id); err != nil {
+			return err
+		}
+	}
+	sj.retired = nil
 	delete(a.sharded, id)
 	return nil
+}
+
+// ConvertToSharded wraps an existing plain consistency-group journal as a
+// single-shard sharded journal with the same ID, adopting its members and
+// pending backlog in place. The adopted shard keeps its identifier (no
+// "#s0" suffix — shard IDs are labels, not structure). Records already
+// pending carry epoch 0, which every sealed epoch exceeds, so a multi-lane
+// drain commits the pre-conversion backlog ahead of post-conversion epochs.
+// This is the entry point for live 1→N resharding of a group that started
+// on the paper's plain single-journal path.
+func (a *Array) ConvertToSharded(journalID string) (*ShardedJournal, error) {
+	j, ok := a.journals[journalID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchJournal, journalID)
+	}
+	if j.group != nil {
+		return nil, fmt.Errorf("storage: journal %s is already a shard of group %s", journalID, j.group.id)
+	}
+	if _, ok := a.sharded[journalID]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrJournalExists, journalID)
+	}
+	sj := &ShardedJournal{
+		env:              a.env,
+		array:            a,
+		id:               journalID,
+		shards:           []*Journal{j},
+		byVol:            make(map[VolumeID]int, len(j.members)),
+		epoch:            1,
+		capacityPerShard: j.capacityBytes,
+		overflowed:       j.overflowed,
+		overflows:        j.overflows,
+	}
+	for _, v := range j.members {
+		sj.byVol[v] = 0
+		sj.members = append(sj.members, v)
+	}
+	j.group = sj
+	a.sharded[journalID] = sj
+	return sj, nil
 }
 
 // ID returns the group journal identifier.
@@ -246,6 +308,159 @@ func (sj *ShardedJournal) overflow() {
 		}
 	}
 }
+
+// ReshardStats describes one shard-set transition.
+type ReshardStats struct {
+	// BarrierEpoch is the group epoch sealed as the migration barrier:
+	// every record acked before the reshard carries an epoch <= it, every
+	// later ack a greater one. Zero for a no-op (unchanged count).
+	BarrierEpoch int64
+	// From and To are the shard counts before and after.
+	From, To int
+	// MovedVolumes counts members whose stable-hash placement changed.
+	MovedVolumes int
+	// MovedRecords counts pending records migrated onto their volume's new
+	// shard.
+	MovedRecords int
+}
+
+// Reshard transitions the group to newCount shard journals in one atomic
+// (zero virtual time) step — the storage half of a live reshard:
+//
+//   - the open epoch is sealed as the migration barrier, so the old and the
+//     new placement are separated by an exact cross-volume cut;
+//   - volumes are re-placed by the same stable hash over the new count;
+//     only members whose assignment changes migrate, and their pending
+//     (undrained) records move with them, merged into the destination
+//     shard's backlog by GlobalSeq — the array-wide ack order — which keeps
+//     every shard's backlog epoch-monotone for the drain's barrier math;
+//   - a grow creates the added shard journals (inheriting the group's
+//     per-shard capacity); a shrink retires the dropped ones, which are
+//     empty of backlog after migration and wait in Retired() until the
+//     replication engine confirms their lanes idle and decommissions them.
+//
+// Resharding to the current count is a structural no-op: no epoch is
+// sealed, nothing migrates, no counter moves. An overflowed group refuses
+// to reshard — resync first, a suspended pair has no live drain to migrate
+// under.
+func (sj *ShardedJournal) Reshard(newCount int) (ReshardStats, error) {
+	cur := len(sj.shards)
+	stats := ReshardStats{From: cur, To: newCount}
+	if newCount < 1 {
+		return stats, fmt.Errorf("storage: sharded journal %s: reshard to %d shards", sj.id, newCount)
+	}
+	if newCount == cur {
+		return stats, nil
+	}
+	if sj.overflowed {
+		return stats, fmt.Errorf("storage: sharded journal %s: cannot reshard while overflowed (resync first)", sj.id)
+	}
+	a := sj.array
+	for k := cur; k < newCount; k++ {
+		if _, ok := a.journals[shardJournalID(sj.id, k)]; ok {
+			return stats, fmt.Errorf("%w: %s", ErrJournalExists, shardJournalID(sj.id, k))
+		}
+	}
+	if sj.capacityPerShard > 0 {
+		// Sized shards model finite journal regions: a migration that would
+		// land more backlog on a destination than its region holds is
+		// refused BEFORE any side effects — the fail-closed overflow
+		// invariant must not be bypassable by re-placement. The caller
+		// (controller backoff) retries once the drain has made room.
+		dest := make([]int, newCount)
+		for k := 0; k < newCount && k < cur; k++ {
+			dest[k] = sj.shards[k].PendingBytes()
+		}
+		for _, v := range sj.members {
+			oldIdx, newIdx := sj.byVol[v], ShardFor(v, newCount)
+			if oldIdx == newIdx {
+				continue
+			}
+			moved := sj.shards[oldIdx].pendingBytesOf(v)
+			if oldIdx < newCount {
+				dest[oldIdx] -= moved
+			}
+			dest[newIdx] += moved
+		}
+		for k, b := range dest {
+			if b > sj.capacityPerShard {
+				return stats, fmt.Errorf("storage: sharded journal %s: reshard to %d would put %dB on shard %d (capacity %dB); drain first",
+					sj.id, newCount, b, k, sj.capacityPerShard)
+			}
+		}
+	}
+	stats.BarrierEpoch = sj.SealEpoch()
+	for k := cur; k < newCount; k++ {
+		j := newJournal(a.env, a, shardJournalID(sj.id, k), sj.capacityPerShard)
+		j.group = sj
+		a.journals[j.id] = j
+		sj.shards = append(sj.shards, j)
+	}
+	for _, v := range sj.members {
+		oldIdx := sj.byVol[v]
+		newIdx := ShardFor(v, newCount)
+		if oldIdx == newIdx {
+			continue
+		}
+		moved := sj.shards[oldIdx].takeVolume(v)
+		if err := a.DetachJournal(v); err != nil {
+			return stats, err
+		}
+		if err := a.AttachJournal(v, sj.shards[newIdx].id); err != nil {
+			return stats, err
+		}
+		sj.shards[newIdx].mergeIn(moved)
+		sj.byVol[v] = newIdx
+		stats.MovedVolumes++
+		stats.MovedRecords += len(moved)
+	}
+	if newCount < cur {
+		sj.retired = append(sj.retired, sj.shards[newCount:]...)
+		sj.shards = sj.shards[:newCount]
+	}
+	sj.reshards++
+	sj.movedVolumes += int64(stats.MovedVolumes)
+	sj.movedRecords += int64(stats.MovedRecords)
+	return stats, nil
+}
+
+// Retired returns the shard journals dropped by shrink reshards and not yet
+// decommissioned.
+func (sj *ShardedJournal) Retired() []*Journal {
+	out := make([]*Journal, len(sj.retired))
+	copy(out, sj.retired)
+	return out
+}
+
+// DecommissionRetired releases every retired shard journal that is fully
+// drained (no backlog, no members) back to the array, returning how many
+// were removed. The replication engine calls it once a retiring lane's last
+// staged records are committed; leftover backlog keeps a shard parked here.
+func (sj *ShardedJournal) DecommissionRetired() int {
+	kept := sj.retired[:0]
+	for _, j := range sj.retired {
+		if j.Pending() == 0 && len(j.members) == 0 {
+			delete(sj.array.journals, j.id)
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	n := len(sj.retired) - len(kept)
+	for i := len(kept); i < len(sj.retired); i++ {
+		sj.retired[i] = nil
+	}
+	sj.retired = kept
+	return n
+}
+
+// Reshards returns the lifetime count of shard-set transitions.
+func (sj *ShardedJournal) Reshards() int64 { return sj.reshards }
+
+// MovedVolumes returns the lifetime count of migrated member placements.
+func (sj *ShardedJournal) MovedVolumes() int64 { return sj.movedVolumes }
+
+// MovedRecords returns the lifetime count of migrated pending records.
+func (sj *ShardedJournal) MovedRecords() int64 { return sj.movedRecords }
 
 func (sj *ShardedJournal) String() string {
 	return fmt.Sprintf("ShardedJournal(%s){shards=%d members=%d pending=%d epoch=%d}",
