@@ -56,10 +56,13 @@ bench-smoke:
 # harness's best (minimum ns/op) run against the committed baseline with
 # cmd/benchcheck (fails >25% ns/op regressions, warns on alloc
 # regressions). Two steps so a bench failure isn't masked by the pipe.
+# The comparison is also written to bench-report.json — CI archives it as a
+# build artifact so regressions can be inspected without re-running.
 bench-check:
 	@$(GO) test -run '^$$' -bench . -benchtime 3x -benchmem -count 3 . > bench.out || \
 		{ cat bench.out; rm -f bench.out; exit 1; }
-	@$(GO) run ./cmd/benchcheck -baseline BENCH_baseline.json -threshold $(BENCH_THRESHOLD) < bench.out; \
+	@$(GO) run ./cmd/benchcheck -baseline BENCH_baseline.json -threshold $(BENCH_THRESHOLD) \
+		-json bench-report.json < bench.out; \
 		status=$$?; rm -f bench.out; exit $$status
 
 # Record the bench numbers as JSON (one entry per harness, with -benchmem

@@ -168,13 +168,15 @@ func BenchmarkE13_ShardedThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkE11_FleetScale regenerates E11: 64 tenant namespaces on one
+// BenchmarkE11_FleetScale regenerates E11: 1,024 tenant namespaces on one
 // shared two-site system, mixed OLTP + snapshot analytics + mid-run
 // failovers, with per-tenant cross-volume consistency verified. This is the
-// fleet-scale stress the sim-kernel and commit-path fast paths exist for.
+// fleet-scale stress the sim-kernel fast paths (batch-grained processes,
+// fused range I/O, keyed watches, parallel tenant subgraphs) exist for; the
+// committed baseline pins its wall cost so kernel regressions block CI.
 func BenchmarkE11_FleetScale(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.E11FleetScale(int64(i+1), 64, 8)
+		res, err := experiments.E11FleetScale(int64(i+1), 1024, 8)
 		if err != nil {
 			b.Fatal(err)
 		}

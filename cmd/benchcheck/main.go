@@ -45,10 +45,30 @@ type Entry struct {
 
 // Verdict classifies one benchmark against the baseline.
 type Verdict struct {
-	Name     string
-	Status   string // "ok", "regressed", "alloc-warn", "new", "missing"
-	Detail   string
-	Blocking bool
+	Name     string `json:"name"`
+	Status   string `json:"status"` // "ok", "regressed", "alloc-warn", "new", "missing"
+	Detail   string `json:"detail"`
+	Blocking bool   `json:"blocking"`
+}
+
+// Report is the machine-readable result of one gate run — what -json writes,
+// so CI can archive the comparison as a build artifact and dashboards can
+// track the measured costs without re-parsing console output.
+type Report struct {
+	Baseline string    `json:"baseline"`
+	Pass     bool      `json:"pass"`
+	Summary  string    `json:"summary"`
+	Verdicts []Verdict `json:"verdicts"`
+	Current  []Entry   `json:"current"`
+}
+
+// writeReport renders the report as indented JSON at path.
+func writeReport(path string, rep Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // cpuSuffix strips the -GOMAXPROCS suffix go test appends to bench names,
@@ -279,6 +299,7 @@ func main() {
 	nsThreshold := flag.Float64("threshold", 0.25, "blocking ns/op regression threshold (fraction)")
 	allocThreshold := flag.Float64("alloc-threshold", 0.25, "warn-only allocs/op regression threshold (fraction)")
 	update := flag.Bool("update", false, "rewrite the baseline from the bench run on stdin instead of comparing")
+	jsonPath := flag.String("json", "", "also write the comparison as a JSON report to this path (CI artifact)")
 	flag.Parse()
 
 	current, err := parseBenchOutput(os.Stdin)
@@ -312,6 +333,14 @@ func main() {
 		}
 	}
 	summary := deltaSummary(baseline, current)
+	if *jsonPath != "" {
+		rep := Report{Baseline: *baselinePath, Pass: blocking == 0,
+			Summary: summary, Verdicts: verdicts, Current: current}
+		if err := writeReport(*jsonPath, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: writing %s: %v\n", *jsonPath, err)
+			os.Exit(2)
+		}
+	}
 	if blocking > 0 {
 		fmt.Fprintf(os.Stderr, "benchcheck: FAIL — %d benchmark(s) regressed past the ns/op threshold; %s\n",
 			blocking, summary)

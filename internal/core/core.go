@@ -336,25 +336,80 @@ func (sys *System) setTenantBackup(p *sim.Proc, namespace string, backup bool) e
 	}
 }
 
+// pollInterval is the initial status-poll period of the Wait* helpers and
+// pollCap the exponential-backoff ceiling. Backing off keeps the reaction
+// latency of a short wait at one pollInterval while cutting the scheduler
+// steps a long wait burns — at fleet scale, ready-polling is otherwise the
+// dominant event source.
+const (
+	pollInterval = 10 * time.Millisecond
+	pollCap      = 160 * time.Millisecond
+)
+
+// pollBackoff sleeps the current poll interval and doubles it up to pollCap.
+func pollBackoff(p *sim.Proc, d *time.Duration) {
+	p.Sleep(*d)
+	if *d < pollCap {
+		*d *= 2
+	}
+}
+
 // WaitBackupReady blocks until the namespace's ReplicationGroup is Ready.
+// It is event-driven: a keyed watch delivers each status transition, so the
+// wait costs one wakeup per transition instead of a poll loop — the
+// difference between O(transitions) and O(wait/poll) scheduler events when
+// hundreds of tenants provision concurrently.
 func (sys *System) WaitBackupReady(p *sim.Proc, namespace string, timeout time.Duration) error {
-	deadline := p.Now() + timeout
 	key := platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: operator.GroupNameFor(namespace)}
+	check := func(obj platform.Object) (bool, error) {
+		rg := obj.(*platform.ReplicationGroup)
+		switch rg.Status.Phase {
+		case platform.GroupReady:
+			return true, nil
+		case platform.GroupFailed:
+			return true, fmt.Errorf("core: replication group failed: %s", rg.Status.Message)
+		}
+		return false, nil
+	}
+	err := sys.waitObject(p, key, timeout, check)
+	if errors.Is(err, ErrTimeout) {
+		return fmt.Errorf("%w: replication group for %s not ready", ErrTimeout, namespace)
+	}
+	return err
+}
+
+// waitObject blocks until check reports done on the keyed object's state (a
+// missing object just keeps waiting), or the timeout expires (ErrTimeout).
+// The watch is registered before the initial read so no transition can slip
+// between them; duplicate deliveries only re-run check.
+func (sys *System) waitObject(p *sim.Proc, key platform.ObjectKey, timeout time.Duration,
+	check func(platform.Object) (bool, error)) error {
+	deadline := p.Now() + timeout
+	w := sys.Main.API.WatchKey(key)
+	defer w.Stop()
+	obj, err := sys.Main.API.Get(p, key)
+	if err == nil {
+		if done, cerr := check(obj); done {
+			return cerr
+		}
+	} else if !errors.Is(err, platform.ErrNotFound) {
+		return err
+	}
 	for {
-		obj, err := sys.Main.API.Get(p, key)
-		if err == nil {
-			rg := obj.(*platform.ReplicationGroup)
-			if rg.Status.Phase == platform.GroupReady {
-				return nil
-			}
-			if rg.Status.Phase == platform.GroupFailed {
-				return fmt.Errorf("core: replication group failed: %s", rg.Status.Message)
-			}
+		remain := deadline - p.Now()
+		if remain <= 0 {
+			return ErrTimeout
 		}
-		if p.Now() >= deadline {
-			return fmt.Errorf("%w: replication group for %s not ready", ErrTimeout, namespace)
+		ev, ok := w.NextTimeout(p, remain)
+		if !ok {
+			return ErrTimeout
 		}
-		p.Sleep(10 * time.Millisecond)
+		if ev.Type == platform.Deleted {
+			continue
+		}
+		if done, cerr := check(ev.Object); done {
+			return cerr
+		}
 	}
 }
 

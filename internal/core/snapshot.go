@@ -43,6 +43,7 @@ func (sys *System) SnapshotBackup(p *sim.Proc, namespace, snapName string) (*sto
 	}
 	deadline := p.Now() + 10*time.Second
 	key := platform.ObjectKey{Kind: platform.KindVolumeGroupSnapshot, Namespace: namespace, Name: snapName}
+	wait := pollInterval
 	for {
 		obj, err := sys.Backup.API.Get(p, key)
 		if err != nil {
@@ -55,7 +56,7 @@ func (sys *System) SnapshotBackup(p *sim.Proc, namespace, snapName string) (*sto
 		if p.Now() >= deadline {
 			return nil, fmt.Errorf("%w: group snapshot %s", ErrTimeout, snapName)
 		}
-		p.Sleep(10 * time.Millisecond)
+		pollBackoff(p, &wait)
 	}
 }
 

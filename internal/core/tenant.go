@@ -564,6 +564,7 @@ func (sys *System) ReshardTenant(p *sim.Proc, namespace string, shards int) erro
 // and with ErrTimeout otherwise.
 func (sys *System) WaitReshard(p *sim.Proc, namespace string, shards int, timeout time.Duration) error {
 	deadline := p.Now() + timeout
+	wait := pollInterval
 	for {
 		if err := sys.reshardable(p, namespace); err != nil {
 			return err
@@ -580,31 +581,27 @@ func (sys *System) WaitReshard(p *sim.Proc, namespace string, shards int, timeou
 		if p.Now() >= deadline {
 			return fmt.Errorf("%w: tenant %s not resharded to %d lanes", ErrTimeout, namespace, shards)
 		}
-		p.Sleep(10 * time.Millisecond)
+		pollBackoff(p, &wait)
 	}
 }
 
 // WaitTenantReady blocks until the tenant's status reaches Ready (nil), or
-// Failed / the timeout (error).
+// Failed / the timeout (error). Event-driven via a keyed watch — one wakeup
+// per status transition, no polling (see WaitBackupReady).
 func (sys *System) WaitTenantReady(p *sim.Proc, namespace string, timeout time.Duration) error {
-	deadline := p.Now() + timeout
-	for {
-		obj, err := sys.Main.API.Get(p, tenantKey(namespace))
-		if err == nil {
-			switch tn := obj.(*platform.Tenant); tn.Status.Phase {
-			case platform.TenantReady:
-				return nil
-			case platform.TenantFailed:
-				return fmt.Errorf("core: tenant %s failed: %s", namespace, tn.Status.Message)
-			}
-		} else if !errors.Is(err, platform.ErrNotFound) {
-			return err
+	err := sys.waitObject(p, tenantKey(namespace), timeout, func(obj platform.Object) (bool, error) {
+		switch tn := obj.(*platform.Tenant); tn.Status.Phase {
+		case platform.TenantReady:
+			return true, nil
+		case platform.TenantFailed:
+			return true, fmt.Errorf("core: tenant %s failed: %s", namespace, tn.Status.Message)
 		}
-		if p.Now() >= deadline {
-			return fmt.Errorf("%w: tenant %s not ready", ErrTimeout, namespace)
-		}
-		p.Sleep(10 * time.Millisecond)
+		return false, nil
+	})
+	if errors.Is(err, ErrTimeout) {
+		return fmt.Errorf("%w: tenant %s not ready", ErrTimeout, namespace)
 	}
+	return err
 }
 
 // DecommissionTenant drains the tenant's replication, deletes its spec, and
@@ -628,6 +625,7 @@ func (sys *System) DecommissionTenant(p *sim.Proc, namespace string) error {
 		return err
 	}
 	deadline := p.Now() + sys.provisionTimeout()
+	wait := pollInterval
 	for {
 		_, err := sys.Main.API.Get(p, tenantKey(namespace))
 		gone := errors.Is(err, platform.ErrNotFound)
@@ -641,6 +639,6 @@ func (sys *System) DecommissionTenant(p *sim.Proc, namespace string) error {
 			return fmt.Errorf("%w: tenant %s not reclaimed: %s", ErrTimeout, namespace,
 				strings.Join(sys.TenantResidue(namespace), "; "))
 		}
-		p.Sleep(10 * time.Millisecond)
+		pollBackoff(p, &wait)
 	}
 }

@@ -147,13 +147,9 @@ func Open(p *sim.Proc, name string, vol replication.BlockWriter, cfg Config) (*D
 // recover replays the WAL valid prefix and checkpoints the result.
 func (d *DB) recover(p *sim.Proc) error {
 	start := p.Now()
-	blocks := make([][]byte, d.cfg.WALBlocks)
-	for i := 0; i < d.cfg.WALBlocks; i++ {
-		blk, err := d.vol.Read(p, d.walBase+int64(i))
-		if err != nil {
-			return err
-		}
-		blocks[i] = blk
+	blocks, err := readBlockRange(p, d.vol, d.walBase, d.cfg.WALBlocks)
+	if err != nil {
+		return err
 	}
 	recs, err := wal.ScanLog(blocks, d.epoch)
 	if err != nil && !errors.Is(err, wal.ErrCorrupt) {
@@ -235,6 +231,30 @@ func (d *DB) Get(p *sim.Proc, key uint64) ([]byte, bool, error) {
 
 // Scan visits every row in page order; fn returning false stops the scan.
 func (d *DB) Scan(p *sim.Proc, fn func(Row) bool) error {
+	// Sequential scan: pull any uncached part of the data region with one
+	// fused range read instead of one random read per page. Cached (and in
+	// particular dirty) pages are kept.
+	if rr, ok := d.vol.(blockRangeReader); ok {
+		missing := false
+		for b := d.dataBase; b < d.dataBase+d.dataPages; b++ {
+			if _, ok := d.pages[b]; !ok {
+				missing = true
+				break
+			}
+		}
+		if missing {
+			blocks, err := rr.ReadRange(p, d.dataBase, int(d.dataPages))
+			if err != nil {
+				return err
+			}
+			for i, blk := range blocks {
+				b := d.dataBase + int64(i)
+				if _, ok := d.pages[b]; !ok {
+					d.pages[b] = blk
+				}
+			}
+		}
+	}
 	for b := d.dataBase; b < d.dataBase+d.dataPages; b++ {
 		page, err := d.loadPage(p, b)
 		if err != nil {

@@ -19,6 +19,31 @@ type BlockReader interface {
 	BlockSize() int
 }
 
+// blockRangeReader is the optional fused sequential-scan interface
+// (storage.Volume and storage.Snapshot implement it). The WAL replay reads
+// the whole log region through it in one scheduler step instead of one per
+// block.
+type blockRangeReader interface {
+	ReadRange(p *sim.Proc, start int64, count int) ([][]byte, error)
+}
+
+// readBlockRange reads count consecutive blocks, fused when the reader
+// supports it.
+func readBlockRange(p *sim.Proc, vol BlockReader, start int64, count int) ([][]byte, error) {
+	if rr, ok := vol.(blockRangeReader); ok {
+		return rr.ReadRange(p, start, count)
+	}
+	out := make([][]byte, count)
+	for i := 0; i < count; i++ {
+		blk, err := vol.Read(p, start+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = blk
+	}
+	return out, nil
+}
+
 // View is a read-only database opened from any BlockReader. It runs the
 // same WAL replay as Open but keeps redone pages in a memory overlay, so
 // the underlying image (typically a snapshot) is untouched.
@@ -35,6 +60,7 @@ type View struct {
 	recovered int
 	replayDur time.Duration
 	torn      bool
+	preloaded bool
 }
 
 // OpenView attaches read-only to a formatted volume image and replays its
@@ -67,13 +93,9 @@ func OpenView(p *sim.Proc, name string, vol BlockReader, cfg Config) (*View, err
 		return nil, fmt.Errorf("db: view %s: WAL size mismatch: on-disk %d, config %d", name, meta.walBlocks, cfg.WALBlocks)
 	}
 	start := p.Now()
-	blocks := make([][]byte, cfg.WALBlocks)
-	for i := 0; i < cfg.WALBlocks; i++ {
-		blk, err := vol.Read(p, v.walBase+int64(i))
-		if err != nil {
-			return nil, err
-		}
-		blocks[i] = blk
+	blocks, err := readBlockRange(p, vol, v.walBase, cfg.WALBlocks)
+	if err != nil {
+		return nil, err
 	}
 	recs, err := wal.ScanLog(blocks, meta.epoch)
 	if err != nil && !errors.Is(err, wal.ErrCorrupt) {
@@ -141,7 +163,13 @@ func (v *View) Get(p *sim.Proc, key uint64) ([]byte, bool, error) {
 }
 
 // Scan visits every row in page order; fn returning false stops the scan.
+// A scan is sequential by nature, so the data region is preloaded with one
+// fused range read (when the image supports it) instead of one random read
+// per page.
 func (v *View) Scan(p *sim.Proc, fn func(Row) bool) error {
+	if err := v.preload(p); err != nil {
+		return err
+	}
 	for b := v.dataBase; b < v.dataBase+v.dataPages; b++ {
 		page, err := v.loadPage(p, b)
 		if err != nil {
@@ -151,6 +179,30 @@ func (v *View) Scan(p *sim.Proc, fn func(Row) bool) error {
 			if !fn(row) {
 				return nil
 			}
+		}
+	}
+	return nil
+}
+
+// preload pulls every data page not already in the overlay with one fused
+// sequential read. Pages replayed from the WAL keep their overlay content.
+func (v *View) preload(p *sim.Proc) error {
+	if v.preloaded {
+		return nil
+	}
+	v.preloaded = true
+	rr, ok := v.vol.(blockRangeReader)
+	if !ok {
+		return nil // per-page loads below
+	}
+	blocks, err := rr.ReadRange(p, v.dataBase, int(v.dataPages))
+	if err != nil {
+		return err
+	}
+	for i, blk := range blocks {
+		b := v.dataBase + int64(i)
+		if _, ok := v.overlay[b]; !ok {
+			v.overlay[b] = blk
 		}
 	}
 	return nil

@@ -20,6 +20,7 @@ package fleet
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analytics"
@@ -77,6 +78,21 @@ type Config struct {
 	// period and records the worst observation on Tenant.MaxRPO — the
 	// victim-disturbance metric the elasticity experiment compares.
 	RPOSample time.Duration
+	// Workers, when > 1, runs the simulation on the parallel scheduler:
+	// same-instant steps of distinct tenant domains execute concurrently on
+	// up to Workers OS goroutines, merged back into the exact sequential
+	// (at, seq) order. 0 or 1 runs the classic sequential scheduler. The
+	// simulated outcome is identical either way.
+	Workers int
+	// StartBarrier, when true, holds every initial-roster tenant at a
+	// barrier after provisioning: OLTP begins only once the whole roster is
+	// Ready, at one shared instant — the classic load-then-measure benchmark
+	// phase split. Besides separating provisioning skew from the measured
+	// phase, the shared start instant is what lets the parallel scheduler
+	// form large same-instant rounds of independent tenant steps; without it
+	// tenant timelines stay offset by their provisioning skew and rarely
+	// coincide. Join tenants arrive mid-run and skip the gate.
+	StartBarrier bool
 	// System configures the shared two-site system (including the
 	// inter-site fabric's member links and QoS classes).
 	System core.Config
@@ -195,7 +211,15 @@ type Fleet struct {
 	Cfg     Config
 	Tenants []*Tenant
 
-	running int // tenant processes still alive (the RPO sampler's gate)
+	// running counts tenant processes still alive (the RPO sampler's gate);
+	// atomic because tenant exits may race with the sampler under Workers.
+	running atomic.Int64
+
+	// Start-barrier state (Config.StartBarrier): gate fires when gateLeft
+	// initial-roster tenants have arrived. Touched only on domain 0 (pre-OLTP
+	// provisioning), which the scheduler never runs concurrently.
+	gate     *sim.Event
+	gateLeft int
 }
 
 // New builds the shared system and the tenant roster — the Config's scalar
@@ -208,6 +232,13 @@ func New(cfg Config) *Fleet {
 	if cfg.ReadyTimeout > cfg.System.ProvisionTimeout {
 		cfg.System.ProvisionTimeout = cfg.ReadyTimeout
 	}
+	// Fleet tenants are independent service domains: each volume gets its
+	// own service queue and ack numbering scoped to its consistency group.
+	// This is both the realistic multi-tenant array model and the property
+	// that lets tenant OLTP steps run as parallel subgraphs (no shared
+	// controller resource crossing domains). Set for every worker count so
+	// sequential and parallel runs simulate the identical world.
+	cfg.System.Storage.IsolatedVolumes = true
 	f := &Fleet{Sys: core.NewSystem(cfg.System), Cfg: cfg}
 	leaves := make(map[int]LeaveSpec, len(cfg.Leaves))
 	for _, l := range cfg.Leaves {
@@ -272,15 +303,38 @@ func New(cfg Config) *Fleet {
 	return f
 }
 
+// gateArrive counts one initial-roster tenant reaching (or, on a provision
+// failure, abandoning) the start barrier. The last arrival releases every
+// waiter at the current instant; join tenants bypass the gate entirely.
+func (f *Fleet) gateArrive(p *sim.Proc, t *Tenant, wait bool) {
+	if f.gate == nil || t.Join {
+		return
+	}
+	f.gateLeft--
+	if f.gateLeft == 0 {
+		p.Trigger(f.gate)
+	} else if wait {
+		p.Wait(f.gate)
+	}
+}
+
 // Run provisions every tenant and drives the mixed workload to completion,
 // returning the first tenant error (each tenant's own error is also kept on
 // the Tenant). It owns the environment: callers must not call Env.Run.
 func (f *Fleet) Run() error {
-	f.running = len(f.Tenants)
+	f.running.Store(int64(len(f.Tenants)))
+	if f.Cfg.StartBarrier {
+		f.gate = f.Sys.Env.NewEvent()
+		for _, t := range f.Tenants {
+			if !t.Join {
+				f.gateLeft++
+			}
+		}
+	}
 	for _, t := range f.Tenants {
 		t := t
 		f.Sys.Env.Process("tenant:"+t.Namespace, func(p *sim.Proc) {
-			defer func() { t.active = false; f.running-- }()
+			defer func() { t.active = false; f.running.Add(-1) }()
 			t.Err = f.runTenant(p, t)
 		})
 	}
@@ -311,7 +365,7 @@ func (f *Fleet) Run() error {
 	}
 	if f.Cfg.RPOSample > 0 {
 		f.Sys.Env.Process("rpo-sampler", func(p *sim.Proc) {
-			for f.running > 0 {
+			for f.running.Load() > 0 {
 				p.Sleep(f.Cfg.RPOSample)
 				for _, t := range f.Tenants {
 					if !t.active {
@@ -324,7 +378,11 @@ func (f *Fleet) Run() error {
 			}
 		})
 	}
-	f.Sys.Env.Run(f.Cfg.Horizon)
+	if f.Cfg.Workers > 1 {
+		f.Sys.Env.RunParallel(f.Cfg.Horizon, f.Cfg.Workers)
+	} else {
+		f.Sys.Env.Run(f.Cfg.Horizon)
+	}
 	if f.Sys.Env.Idle() {
 		// Completed run: quiesce controllers, drains, and dispatchers so a
 		// discarded fleet leaves no parked simulation goroutines behind
@@ -399,6 +457,7 @@ func (f *Fleet) runTenant(p *sim.Proc, t *Tenant) error {
 		Profile:       "oltp-external", // the fleet attaches its own seeded shop
 	})
 	if err != nil {
+		f.gateArrive(p, t, false) // don't strand the rest of the roster
 		return fmt.Errorf("provision: %w", err)
 	}
 	t.TimeToReady = p.Now() - start
@@ -411,9 +470,29 @@ func (f *Fleet) runTenant(p *sim.Proc, t *Tenant) error {
 	wcfg.Seed = f.Cfg.System.Seed + int64(t.Index)*7919
 	bp.Shop = workload.NewShop(f.Sys.Env, bp.Sales, bp.Stock, wcfg)
 
+	// OLTP phases touch only this tenant's shop, databases, volumes, and
+	// journal, so they ride a per-tenant domain: under Config.Workers the
+	// scheduler executes same-instant steps of distinct domains
+	// concurrently. The domain binds from the step after SetDomain, and
+	// leaving one requires crossing a step boundary (Sleep(0)) before
+	// touching shared state again — see sim.Proc.SetDomain. Everything else
+	// (provision, catch-up, analytics, failover, leave) shares system state
+	// and stays on domain 0.
+	runShop := func(orders int) error {
+		p.SetDomain(t.Index + 1)
+		err := bp.Shop.Run(p, orders)
+		p.SetDomain(0)
+		p.Sleep(0)
+		return err
+	}
+
+	// Start barrier: the measured mixed-workload phase begins only once the
+	// whole initial roster is Ready, at one shared instant.
+	f.gateArrive(p, t, true)
+
 	// Phase 1: first half of the OLTP load on every tenant concurrently.
 	half := f.orders(t) / 2
-	if err := bp.Shop.Run(p, half); err != nil {
+	if err := runShop(half); err != nil {
 		return fmt.Errorf("phase 1: %w", err)
 	}
 
@@ -448,7 +527,7 @@ func (f *Fleet) runTenant(p *sim.Proc, t *Tenant) error {
 	}
 
 	// Phase 2: remaining load, then drain and verify the backup image.
-	if err := bp.Shop.Run(p, f.orders(t)-half); err != nil {
+	if err := runShop(f.orders(t) - half); err != nil {
 		return fmt.Errorf("phase 2: %w", err)
 	}
 	t.OrdersPlaced = bp.Shop.Completed.Value()

@@ -52,9 +52,17 @@ type APIServer struct {
 	env     *sim.Env
 	cfg     APIConfig
 	objects map[ObjectKey]Object
+	// byKind indexes the store per kind so List and Names scan only the
+	// kind's objects — at fleet scale a whole-store scan per List call is
+	// quadratic in tenants.
+	byKind  map[Kind]map[ObjectKey]Object
 	rv      int64
 	watches []*Watch
-	calls   int64
+	// keyed holds single-object watches bucketed by key, so a notify
+	// touches only the waiters of the object that changed instead of
+	// scanning every registered watch (quadratic at fleet scale).
+	keyed map[ObjectKey][]*Watch
+	calls int64
 }
 
 // NewAPIServer returns an empty store.
@@ -63,7 +71,24 @@ func NewAPIServer(env *sim.Env, cfg APIConfig) *APIServer {
 		env:     env,
 		cfg:     cfg.withDefaults(),
 		objects: make(map[ObjectKey]Object),
+		byKind:  make(map[Kind]map[ObjectKey]Object),
+		keyed:   make(map[ObjectKey][]*Watch),
 	}
+}
+
+func (s *APIServer) indexPut(key ObjectKey, obj Object) {
+	s.objects[key] = obj
+	kindMap, ok := s.byKind[key.Kind]
+	if !ok {
+		kindMap = make(map[ObjectKey]Object)
+		s.byKind[key.Kind] = kindMap
+	}
+	kindMap[key] = obj
+}
+
+func (s *APIServer) indexDelete(key ObjectKey) {
+	delete(s.objects, key)
+	delete(s.byKind[key.Kind], key)
 }
 
 // Calls returns the number of API calls served (the operator-automation
@@ -90,7 +115,7 @@ func (s *APIServer) Create(p *sim.Proc, obj Object) error {
 	m.ResourceVersion = s.rv
 	m.CreatedAt = s.env.Now()
 	stored := obj.DeepCopy()
-	s.objects[key] = stored
+	s.indexPut(key, stored)
 	s.notify(Event{Type: Added, Object: stored.DeepCopy()})
 	return nil
 }
@@ -112,7 +137,7 @@ func (s *APIServer) Update(p *sim.Proc, obj Object) error {
 	obj.GetMeta().ResourceVersion = s.rv
 	obj.GetMeta().CreatedAt = cur.GetMeta().CreatedAt
 	stored := obj.DeepCopy()
-	s.objects[key] = stored
+	s.indexPut(key, stored)
 	s.notify(Event{Type: Modified, Object: stored.DeepCopy()})
 	return nil
 }
@@ -132,10 +157,7 @@ func (s *APIServer) Get(p *sim.Proc, key ObjectKey) (Object, error) {
 func (s *APIServer) List(p *sim.Proc, kind Kind, namespace string) []Object {
 	s.charge(p)
 	var keys []ObjectKey
-	for k := range s.objects {
-		if k.Kind != kind {
-			continue
-		}
+	for k := range s.byKind[kind] {
 		if namespace != "" && k.Namespace != namespace {
 			continue
 		}
@@ -161,7 +183,7 @@ func (s *APIServer) Delete(p *sim.Proc, key ObjectKey) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
-	delete(s.objects, key)
+	s.indexDelete(key)
 	s.notify(Event{Type: Deleted, Object: cur.DeepCopy()})
 	return nil
 }
@@ -171,13 +193,14 @@ func (s *APIServer) Delete(p *sim.Proc, key ObjectKey) error {
 // run (controllers starting and stopping per tenant) appends stopped
 // watches that every notify must skip forever — the watch leak.
 func (s *APIServer) notify(ev Event) {
+	m := ev.Object.GetMeta()
 	kept := s.watches[:0]
 	for _, w := range s.watches {
 		if w.stopped {
 			continue
 		}
 		kept = append(kept, w)
-		if w.kind != ev.Object.GetMeta().Kind {
+		if w.kind != m.Kind {
 			continue
 		}
 		w.ch.Put(ev)
@@ -186,12 +209,34 @@ func (s *APIServer) notify(ev Event) {
 		s.watches[i] = nil // release the stopped watch for GC
 	}
 	s.watches = kept
+	key := m.Key()
+	if bucket, ok := s.keyed[key]; ok {
+		keptK := bucket[:0]
+		for _, w := range bucket {
+			if w.stopped {
+				continue
+			}
+			keptK = append(keptK, w)
+			w.ch.Put(ev)
+		}
+		if len(keptK) == 0 {
+			delete(s.keyed, key)
+		} else {
+			for i := len(keptK); i < len(bucket); i++ {
+				bucket[i] = nil
+			}
+			s.keyed[key] = keptK
+		}
+	}
 }
 
-// Watch streams events for one kind. Events carry deep copies; the watch
-// starts empty (list first for existing state, the standard contract).
+// Watch streams events for one kind — optionally for one object key only.
+// Events carry deep copies; the watch starts empty (list first for existing
+// state, the standard contract).
 type Watch struct {
 	kind    Kind
+	keyed   bool
+	key     ObjectKey
 	ch      *sim.Chan
 	stopped bool
 }
@@ -203,15 +248,22 @@ func (s *APIServer) Watch(kind Kind) *Watch {
 	return w
 }
 
+// WatchKey registers a watch delivering only events for one object key —
+// the field-selector form clients use to wait on a single object's status
+// instead of polling Get in a loop.
+func (s *APIServer) WatchKey(key ObjectKey) *Watch {
+	w := &Watch{kind: key.Kind, keyed: true, key: key, ch: s.env.NewChan()}
+	s.keyed[key] = append(s.keyed[key], w)
+	return w
+}
+
 // Names returns the names of all objects of a kind, sorted — an uncharged
 // introspection helper (like Calls/WatchCount) for invariant checks, not a
 // modeled API call.
 func (s *APIServer) Names(kind Kind) []string {
 	var out []string
-	for k := range s.objects {
-		if k.Kind == kind {
-			out = append(out, k.Name)
-		}
+	for k := range s.byKind[kind] {
+		out = append(out, k.Name)
 	}
 	sort.Strings(out)
 	return out
@@ -224,6 +276,13 @@ func (s *APIServer) WatchCount() int {
 	for _, w := range s.watches {
 		if !w.stopped {
 			n++
+		}
+	}
+	for _, bucket := range s.keyed {
+		for _, w := range bucket {
+			if !w.stopped {
+				n++
+			}
 		}
 	}
 	return n

@@ -133,9 +133,11 @@ func (c *Controller) Start() {
 				if delay > c.cfg.MaxRetryDelay || delay <= 0 {
 					delay = c.cfg.MaxRetryDelay
 				}
-				// Requeue after backoff without blocking the worker.
+				// Requeue after backoff without blocking the worker. An
+				// inline timer step is enough — Enqueue consumes no time —
+				// so no retry goroutine (and its two handoffs) is spawned.
 				k := key
-				c.env.ProcessAt(c.name+":retry", p.Now()+delay, func(*sim.Proc) {
+				c.env.After(delay, func() {
 					if !c.stopped {
 						c.Enqueue(k)
 					}

@@ -124,12 +124,36 @@ func (g *Group) InitialCopy(p *sim.Proc, source *storage.Array) error {
 		if err != nil {
 			return err
 		}
-		for _, b := range sv.WrittenBlocks() {
-			data := sv.Peek(b)
-			g.path.Transfer(p, len(data)+64)
-			if err := tv.Apply(p, b, data); err != nil {
-				return err
+		if err := g.bulkCopy(p, sv, tv, sv.WrittenBlocks()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bulkCopy streams the given blocks of one volume to its target in
+// BatchMax-block batches: one link transfer and one delta-set apply per
+// batch instead of one scheduling event per block. The initial copy and
+// resync share it.
+func (g *Group) bulkCopy(p *sim.Proc, sv, tv *storage.Volume, blocks []int64) error {
+	for start := 0; start < len(blocks); start += g.cfg.BatchMax {
+		chunk := blocks[start:min(start+g.cfg.BatchMax, len(blocks))]
+		var bytes int
+		for range chunk {
+			bytes += sv.BlockSize() + 64
+		}
+		g.path.Transfer(p, bytes)
+		g.target.ApplyDeltaSet(p, len(chunk))
+		var err error
+		p.Do(func() {
+			for _, b := range chunk {
+				if err = tv.InstallDelta(b, sv.Peek(b)); err != nil {
+					return
+				}
 			}
+		})
+		if err != nil {
+			return err
 		}
 	}
 	return nil
@@ -158,6 +182,11 @@ func (g *Group) Stopped() bool { return g.stopped }
 
 func (g *Group) drain(p *sim.Proc) {
 	for {
+		// A stop lands here — a batch boundary — leaving the backlog pending
+		// at the source (the RPO exposure), not lost in flight.
+		if g.stopped {
+			return
+		}
 		// A detach lands here — a batch boundary — so nothing is ever in
 		// flight when the acknowledgement fires.
 		if g.detachReq {
@@ -194,31 +223,42 @@ func (g *Group) drain(p *sim.Proc) {
 			batchBytes += r.SizeBytes()
 		}
 		g.path.Transfer(p, batchBytes)
-		for i, r := range recs {
-			// Stop splits the pair: anything not yet applied is lost in
-			// flight, exactly as a disaster (or operator split) leaves it.
-			if g.stopped {
-				g.lost = append(g.lost, recs[i:]...)
-				g.inflight = 0
-				return
-			}
-			tv, err := g.target.Volume(g.mapping[r.Volume])
-			if err != nil {
-				panic(fmt.Sprintf("replication %s: target vanished: %v", g.name, err))
-			}
-			if err := tv.Apply(p, r.Block, r.Data); err != nil {
-				panic(fmt.Sprintf("replication %s: apply: %v", g.name, err))
-			}
-			g.appliedSeq = r.Seq
-			g.appliedRecords++
-			g.appliedBytes += int64(len(r.Data))
-			g.lastAppliedAck = r.AckedAt
-			g.applyLog = append(g.applyLog, r)
-			g.inflight--
-		}
+		// Stop splits the pair: a batch not yet applied is lost in flight,
+		// exactly as a disaster (or operator split) leaves it. The batch is
+		// the commit unit — its media time is charged in one delta-set apply
+		// and the records then install at zero cost in sequence order — so
+		// loss is batch-atomic and the target always holds an exact prefix
+		// of batch boundaries.
 		if g.stopped {
+			g.lost = append(g.lost, recs...)
+			g.inflight = 0
 			return
 		}
+		g.target.ApplyDeltaSet(p, len(recs))
+		if g.stopped {
+			g.lost = append(g.lost, recs...)
+			g.inflight = 0
+			return
+		}
+		p.Do(func() {
+			for _, r := range recs {
+				tv, err := g.target.Volume(g.mapping[r.Volume])
+				if err != nil {
+					panic(fmt.Sprintf("replication %s: target vanished: %v", g.name, err))
+				}
+				if err := tv.InstallDelta(r.Block, r.Data); err != nil {
+					panic(fmt.Sprintf("replication %s: apply: %v", g.name, err))
+				}
+				g.appliedSeq = r.Seq
+				g.appliedRecords++
+				g.appliedBytes += int64(len(r.Data))
+				g.lastAppliedAck = r.AckedAt
+				g.applyLog = append(g.applyLog, r)
+			}
+			g.inflight = 0
+		})
+		// No time passes between the post-apply stop check and here, so a
+		// stop cannot slip in; the loop head re-checks detach and stop.
 	}
 }
 
@@ -355,12 +395,8 @@ func (g *Group) Resync(p *sim.Proc, source *storage.Array, maxPasses int) error 
 			// Reset tracking so writes landing during this copy are
 			// caught by the next pass.
 			sv.StartChangeTracking()
-			for _, b := range blocks {
-				data := sv.Peek(b)
-				g.path.Transfer(p, len(data)+64)
-				if err := tv.Apply(p, b, data); err != nil {
-					return fmt.Errorf("replication %s: resync %s[%d]: %w", g.name, src, b, err)
-				}
+			if err := g.bulkCopy(p, sv, tv, blocks); err != nil {
+				return fmt.Errorf("replication %s: resync %s: %w", g.name, src, err)
 			}
 			copied = true
 		}

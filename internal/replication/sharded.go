@@ -366,9 +366,11 @@ func (g *ShardedGroup) commitEpoch(p *sim.Proc, sealed int64) {
 			}
 		}
 		sort.Slice(merged, func(i, j int) bool { return merged[i].GlobalSeq < merged[j].GlobalSeq })
-		for _, r := range merged {
-			g.install(r)
-		}
+		p.Do(func() {
+			for _, r := range merged {
+				g.install(r)
+			}
+		})
 		for _, l := range lanes {
 			kept := l.staged[:0]
 			for _, r := range l.staged {
@@ -384,13 +386,15 @@ func (g *ShardedGroup) commitEpoch(p *sim.Proc, sealed int64) {
 	} else {
 		for _, l := range lanes {
 			n := 0
-			for _, r := range l.staged {
-				if r.Epoch > sealed {
-					break
+			p.Do(func() {
+				for _, r := range l.staged {
+					if r.Epoch > sealed {
+						break
+					}
+					g.install(r)
+					n++
 				}
-				g.install(r)
-				n++
-			}
+			})
 			rest := copy(l.staged, l.staged[n:])
 			for i := rest; i < len(l.staged); i++ {
 				l.staged[i] = storage.Record{}

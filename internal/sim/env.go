@@ -3,15 +3,28 @@
 // All components of the backup system (storage arrays, network links,
 // databases, workloads) execute as simulated processes on a shared virtual
 // clock. Processes are ordinary goroutines that cooperate with the scheduler:
-// exactly one process runs at a time, and time advances only when every
-// process is blocked in Sleep or Wait. Given a fixed RNG seed, runs are fully
-// reproducible, which is what lets the experiment harness regenerate the
-// paper's figures deterministically.
+// in the sequential scheduler exactly one process runs at a time, and time
+// advances only when every process is blocked in Sleep or Wait. Given a fixed
+// RNG seed, runs are fully reproducible, which is what lets the experiment
+// harness regenerate the paper's figures deterministically.
+//
+// The kernel has a two-tier step model. Ordinary steps resume a process
+// goroutine (one resume+yield channel round trip — a "handoff"); inline
+// steps (Env.Immediate, Env.After, Proc.Do) run a plain function on the
+// scheduler goroutine with no handoff at all, which is what makes
+// zero-duration bookkeeping work (apply a replicated record, requeue a
+// controller key) nearly free. RunParallel additionally executes runs of
+// same-instant steps whose processes belong to pairwise-distinct domains
+// concurrently on a bounded worker pool, committing their kernel effects in
+// step order afterwards so the (at, seq) total order — and therefore every
+// simulation outcome — is byte-identical to the sequential scheduler's.
 package sim
 
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -42,17 +55,94 @@ type Env struct {
 	rng       *rand.Rand
 	yield     chan struct{} // signalled by a process when it blocks or exits
 	running   bool
-	blocked   int // processes waiting on an untriggered Event
-	procs     int // live (started, unfinished) processes
+	blocked   atomic.Int64 // processes waiting on an untriggered Event
+	procs     atomic.Int64 // live (started, unfinished) processes
+
+	// Parallel-round state (RunParallel). inRound is true while a round's
+	// processes execute concurrently; allocMu serializes their slab
+	// allocations; held parks the entry that terminated round collection.
+	inRound    bool
+	allocMu    sync.Mutex
+	held       entryRef
+	round      []entryRef
+	roundProcs []*Proc
+	segs       []stepSeg
+	domSeen    map[int]int64
+	domEpoch   int64
+
+	stats   statCounters
+	traceOn bool
+	trace   []TraceEntry
 }
+
+// statCounters is the internal, partly-atomic form of Stats. Fields mutated
+// only by the scheduler goroutine (or under the handoff protocol's
+// happens-before chain) are plain; InlineSteps is atomic because Proc.Do
+// runs on process goroutines that execute concurrently during rounds.
+type statCounters struct {
+	heapPushes     int64
+	fifoBypasses   int64
+	handoffs       int64
+	inlineSteps    atomic.Int64
+	timerCancels   int64
+	parallelRounds int64
+	parallelSteps  int64
+}
+
+// Stats is a snapshot of the kernel's scheduling counters — the measured
+// form of the execution-model claims (how many steps the heap actually
+// ordered, how many bypassed it, how many avoided a goroutine handoff
+// entirely, how much ran in parallel rounds).
+type Stats struct {
+	HeapPushes     int64 // entries ordered through the binary heap
+	FifoBypasses   int64 // same-instant entries that skipped the heap
+	Handoffs       int64 // process resumes (resume+yield channel round trips)
+	InlineSteps    int64 // zero-duration steps run with no handoff
+	TimerCancels   int64 // timer entries removed from the heap eagerly
+	ParallelRounds int64 // rounds of same-instant steps run concurrently
+	ParallelSteps  int64 // steps executed inside those rounds
+	ParallelMerges int64 // round commits merged back into the (at,seq) order
+}
+
+// Stats returns a snapshot of the kernel counters.
+func (e *Env) Stats() Stats {
+	return Stats{
+		HeapPushes:     e.stats.heapPushes,
+		FifoBypasses:   e.stats.fifoBypasses,
+		Handoffs:       e.stats.handoffs,
+		InlineSteps:    e.stats.inlineSteps.Load(),
+		TimerCancels:   e.stats.timerCancels,
+		ParallelRounds: e.stats.parallelRounds,
+		ParallelSteps:  e.stats.parallelSteps,
+		ParallelMerges: e.stats.parallelRounds,
+	}
+}
+
+// TraceEntry is one executed step in the kernel's total order.
+type TraceEntry struct {
+	At  time.Duration
+	Seq int64
+}
+
+// StartTrace begins recording the (at, seq) pair of every executed step.
+// The golden-trace determinism test uses it to prove the parallel scheduler
+// replays the sequential order exactly.
+func (e *Env) StartTrace() {
+	e.trace = e.trace[:0]
+	e.traceOn = true
+}
+
+// Trace returns the steps recorded since StartTrace.
+func (e *Env) Trace() []TraceEntry { return e.trace }
 
 // NewEnv returns an environment whose random source is seeded with seed.
 // The same seed always yields the same execution.
 func NewEnv(seed int64) *Env {
 	return &Env{
-		rng:   rand.New(rand.NewSource(seed)),
-		yield: make(chan struct{}),
-		slab:  make([]scheduled, 1), // slab[0] reserved so ref 0 means "none"
+		rng:     rand.New(rand.NewSource(seed)),
+		yield:   make(chan struct{}),
+		slab:    make([]scheduled, 1), // slab[0] reserved so ref 0 means "none"
+		domSeen: make(map[int]int64),
 	}
 }
 
@@ -62,15 +152,21 @@ func (e *Env) Now() time.Duration { return e.now }
 // Rand returns the environment's deterministic random source.
 func (e *Env) Rand() *rand.Rand { return e.rng }
 
-// scheduled is one entry in the event queue: resume a process at time at.
-// Entries can be canceled in place (e.g. a timeout superseded by its event);
-// the scheduler skips canceled entries when it pops them. Entries live in
-// the environment's slab and are addressed by index (entryRef) because the
-// slab reallocates as it grows.
+// scheduled is one entry in the event queue: resume a process (or run an
+// inline function) at time at. Entries can be canceled in place (e.g. a
+// timeout superseded by its event); heap-resident entries are removed
+// eagerly on cancel, FIFO-resident ones are dropped when popped. Entries
+// live in the environment's slab and are addressed by index (entryRef)
+// because the slab reallocates as it grows. pos is the entry's index in the
+// heap (-1 when it is not heap-resident) so cancellation can remove it
+// without a scan. seq 0 marks a round-buffered entry whose position in the
+// total order is assigned at round commit.
 type scheduled struct {
 	at       time.Duration
 	seq      int64
 	proc     *Proc
+	fn       func()
+	pos      int32
 	canceled bool
 }
 
@@ -91,29 +187,74 @@ func (e *Env) allocEntry() entryRef {
 // freeEntry recycles a popped entry. Callers must not hold its ref after
 // this; cancellation refs are only ever used while an entry is pending.
 func (e *Env) freeEntry(id entryRef) {
-	e.slab[id] = scheduled{} // drop the proc pointer
+	e.slab[id] = scheduled{pos: -1} // drop the proc pointer
 	e.free = append(e.free, id)
 }
 
-// cancelEntry marks a pending entry canceled; the scheduler drops it on pop.
-func (e *Env) cancelEntry(id entryRef) { e.slab[id].canceled = true }
+// cancelEntry cancels a pending entry. Heap-resident entries are removed
+// and recycled immediately — a canceled timer must not occupy heap space
+// for its full original duration. FIFO-resident (or round-buffered)
+// entries are marked and dropped when they surface.
+func (e *Env) cancelEntry(id entryRef) {
+	ent := &e.slab[id]
+	if ent.pos >= 0 {
+		e.heapRemoveAt(int(ent.pos))
+		e.freeEntry(id)
+		e.stats.timerCancels++
+		return
+	}
+	ent.canceled = true
+}
 
 func (e *Env) schedule(p *Proc, at time.Duration) { e.scheduleEntry(p, at) }
 
 func (e *Env) scheduleEntry(p *Proc, at time.Duration) entryRef {
 	e.seq++
 	id := e.allocEntry()
-	e.slab[id] = scheduled{at: at, seq: e.seq, proc: p}
+	e.slab[id] = scheduled{at: at, seq: e.seq, proc: p, pos: -1}
 	// Same-instant fast path: while the loop is draining the current
 	// instant, a resume due "now" skips both heap sifts — FIFO order is seq
 	// order because seq only grows. Outside Run the heap keeps everything,
 	// so pre-run setup entries order with scheduled ones as before.
 	if e.running && at == e.now {
 		e.today = append(e.today, id)
+		e.stats.fifoBypasses++
 	} else {
 		e.heapPush(id)
+		e.stats.heapPushes++
 	}
 	return id
+}
+
+// scheduleFn queues fn to run inline on the scheduler goroutine at time at:
+// a step in the (at, seq) order with no process and no handoff.
+func (e *Env) scheduleFn(at time.Duration, fn func()) {
+	if e.inRound {
+		panic("sim: Immediate/After called during a parallel round")
+	}
+	e.seq++
+	id := e.allocEntry()
+	e.slab[id] = scheduled{at: at, seq: e.seq, fn: fn, pos: -1}
+	if e.running && at == e.now {
+		e.today = append(e.today, id)
+		e.stats.fifoBypasses++
+	} else {
+		e.heapPush(id)
+		e.stats.heapPushes++
+	}
+}
+
+// Immediate queues fn as an inline step at the current instant, ordered
+// after everything already scheduled. It is the no-handoff replacement for
+// spawning a throwaway process to run zero-duration work.
+func (e *Env) Immediate(fn func()) { e.scheduleFn(e.now, fn) }
+
+// After queues fn as an inline step d from now (d < 0 is treated as zero).
+func (e *Env) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.scheduleFn(e.now+d, fn)
 }
 
 // entryLess orders heap entries by (at, seq).
@@ -127,7 +268,9 @@ func (e *Env) entryLess(a, b entryRef) bool {
 
 func (e *Env) heapPush(id entryRef) {
 	e.heap = append(e.heap, id)
-	e.siftUp(len(e.heap) - 1)
+	i := len(e.heap) - 1
+	e.slab[id].pos = int32(i)
+	e.siftUp(i)
 }
 
 func (e *Env) heapPop() entryRef {
@@ -135,10 +278,33 @@ func (e *Env) heapPop() entryRef {
 	n := len(e.heap) - 1
 	e.heap[0] = e.heap[n]
 	e.heap = e.heap[:n]
-	if n > 1 {
-		e.siftDown(0)
+	e.slab[top].pos = -1
+	if n > 0 {
+		e.slab[e.heap[0]].pos = 0
+		if n > 1 {
+			e.siftDown(0)
+		}
 	}
 	return top
+}
+
+// heapRemoveAt deletes the entry at heap index i, restoring heap order.
+func (e *Env) heapRemoveAt(i int) {
+	n := len(e.heap) - 1
+	id := e.heap[i]
+	e.slab[id].pos = -1
+	if i != n {
+		moved := e.heap[n]
+		e.heap[i] = moved
+		e.slab[moved].pos = int32(i)
+		e.heap = e.heap[:n]
+		e.siftDown(i)
+		if int(e.slab[moved].pos) == i {
+			e.siftUp(i)
+		}
+	} else {
+		e.heap = e.heap[:n]
+	}
 }
 
 func (e *Env) siftUp(i int) {
@@ -149,6 +315,8 @@ func (e *Env) siftUp(i int) {
 			break
 		}
 		h[i], h[parent] = h[parent], h[i]
+		e.slab[h[i]].pos = int32(i)
+		e.slab[h[parent]].pos = int32(parent)
 		i = parent
 	}
 }
@@ -169,23 +337,19 @@ func (e *Env) siftDown(i int) {
 			return
 		}
 		h[i], h[least] = h[least], h[i]
+		e.slab[h[i]].pos = int32(i)
+		e.slab[h[least]].pos = int32(least)
 		i = least
 	}
 }
 
-// Run executes scheduled events until the queue drains or virtual time would
-// pass horizon (horizon <= 0 means no limit). It returns the virtual time at
-// which the simulation stopped.
-func (e *Env) Run(horizon time.Duration) time.Duration {
-	if e.running {
-		panic("sim: Run called re-entrantly")
-	}
-	e.running = true
-	defer func() { e.running = false }()
+// popDue pops the next live entry due at the current instant — heap
+// entries due now first (their seqs precede every FIFO entry, which was
+// created during this instant), then the same-timestamp FIFO — dropping
+// canceled entries and entries of finished processes. It returns 0 when
+// the instant is fully drained.
+func (e *Env) popDue() entryRef {
 	for {
-		// Drain the current instant: heap entries due now first (their seqs
-		// precede every FIFO entry, which was created during this instant),
-		// then the same-timestamp FIFO, which may grow as processes resume.
 		var top entryRef
 		switch {
 		case len(e.heap) > 0 && e.slab[e.heap[0]].at <= e.now:
@@ -198,11 +362,63 @@ func (e *Env) Run(horizon time.Duration) time.Duration {
 			e.today = e.today[:0]
 			e.todayHead = 0
 			continue
-		case len(e.heap) > 0:
+		default:
+			return 0
+		}
+		if e.slab[top].canceled || (e.slab[top].proc != nil && e.slab[top].proc.done) {
+			e.freeEntry(top)
+			continue
+		}
+		return top
+	}
+}
+
+// takeDue returns the next due entry, preferring the one a round collection
+// parked (it was popped before the round flushed and is next in seq order —
+// everything the round scheduled carries a later seq).
+func (e *Env) takeDue() entryRef {
+	if e.held != 0 {
+		top := e.held
+		e.held = 0
+		return top
+	}
+	return e.popDue()
+}
+
+// Run executes scheduled events until the queue drains or virtual time would
+// pass horizon (horizon <= 0 means no limit). It returns the virtual time at
+// which the simulation stopped.
+func (e *Env) Run(horizon time.Duration) time.Duration { return e.run(horizon, 1) }
+
+// RunParallel is Run with same-instant steps of pairwise-distinct process
+// domains (see Proc.SetDomain) executed concurrently on up to workers
+// goroutines. Kernel effects of concurrent steps are buffered and committed
+// in step order, so the resulting (at, seq) total order — and every
+// simulation outcome — is identical to Run's. workers < 2 degenerates to
+// the sequential scheduler.
+func (e *Env) RunParallel(horizon time.Duration, workers int) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	return e.run(horizon, workers)
+}
+
+func (e *Env) run(horizon time.Duration, workers int) time.Duration {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for {
+		top := e.takeDue()
+		if top == 0 {
 			// Advance time to the next live entry — canceled timers and
 			// finished procs are dropped first so they never move the clock.
+			if len(e.heap) == 0 {
+				return e.now
+			}
 			next := e.heap[0]
-			if e.slab[next].canceled || e.slab[next].proc.done {
+			if e.slab[next].canceled || (e.slab[next].proc != nil && e.slab[next].proc.done) {
 				e.heapPop()
 				e.freeEntry(next)
 				continue
@@ -213,28 +429,210 @@ func (e *Env) Run(horizon time.Duration) time.Duration {
 			}
 			e.now = e.slab[next].at
 			continue
-		default:
-			return e.now
 		}
-		// Copy out before recycling: step() may schedule and reuse this slot.
-		ent := e.slab[top]
-		e.freeEntry(top)
-		if ent.canceled || ent.proc.done {
-			continue
+		if workers > 1 {
+			if d := e.entryDomain(top); d != 0 {
+				e.collectRound(top, d)
+				if len(e.round) > 1 {
+					e.execRound(workers)
+					continue
+				}
+				top = e.round[0]
+			}
 		}
-		e.step(ent.proc)
+		e.execOne(top)
 	}
+}
+
+// entryDomain returns the parallel domain of an entry's step: the process's
+// domain, or 0 (never concurrent) for inline-function steps.
+func (e *Env) entryDomain(id entryRef) int {
+	if p := e.slab[id].proc; p != nil {
+		return p.domain
+	}
+	return 0
+}
+
+// execOne runs a single step sequentially: copy out, recycle the slot, and
+// either run the inline function or hand off to the process goroutine.
+func (e *Env) execOne(top entryRef) {
+	ent := e.slab[top]
+	e.freeEntry(top)
+	if e.traceOn {
+		e.trace = append(e.trace, TraceEntry{At: ent.at, Seq: ent.seq})
+	}
+	if ent.fn != nil {
+		e.stats.inlineSteps.Add(1)
+		ent.fn()
+		return
+	}
+	e.step(ent.proc)
+}
+
+// collectRound gathers the maximal run of due entries, starting at top,
+// whose processes have pairwise-distinct non-zero domains. Collection stops
+// at (and parks in e.held) the first entry that must observe the round's
+// effects sequentially: an inline step, a domain-0 process, or a second
+// step of a domain already in the round. Pre-popping is sound because every
+// entry a round step schedules carries a later seq than every entry that
+// was already due — the collected run is exactly the next len(round)
+// sequential steps.
+func (e *Env) collectRound(top entryRef, domain int) {
+	e.domEpoch++
+	e.round = e.round[:0]
+	e.round = append(e.round, top)
+	e.domSeen[domain] = e.domEpoch
+	for {
+		next := e.popDue()
+		if next == 0 {
+			return
+		}
+		d := e.entryDomain(next)
+		if d == 0 || e.domSeen[d] == e.domEpoch {
+			e.held = next
+			return
+		}
+		e.domSeen[d] = e.domEpoch
+		e.round = append(e.round, next)
+	}
+}
+
+// execRound runs the collected round: dispatch up to workers steps at a
+// time, then commit each step's buffered kernel effects in step (= seq)
+// order, which reproduces exactly the seq assignments the sequential
+// scheduler would have made.
+func (e *Env) execRound(workers int) {
+	k := len(e.round)
+	if cap(e.roundProcs) < k {
+		e.roundProcs = make([]*Proc, 0, k*2)
+		e.segs = make([]stepSeg, k*2)
+	}
+	e.roundProcs = e.roundProcs[:0]
+	for _, ref := range e.round {
+		ent := e.slab[ref]
+		if e.traceOn {
+			e.trace = append(e.trace, TraceEntry{At: ent.at, Seq: ent.seq})
+		}
+		e.roundProcs = append(e.roundProcs, ent.proc)
+		e.freeEntry(ref)
+	}
+	for i, p := range e.roundProcs {
+		seg := &e.segs[i]
+		seg.effs = seg.effs[:0]
+		p.seg = seg
+	}
+	e.inRound = true
+	next, inflight := 0, 0
+	for next < k && inflight < workers {
+		e.stats.handoffs++
+		e.roundProcs[next].resume <- struct{}{}
+		next++
+		inflight++
+	}
+	for done := 0; done < k; done++ {
+		<-e.yield
+		if next < k {
+			e.stats.handoffs++
+			e.roundProcs[next].resume <- struct{}{}
+			next++
+		}
+	}
+	e.inRound = false
+	for _, p := range e.roundProcs {
+		p.seg = nil
+	}
+	for i := 0; i < k; i++ {
+		e.commitSeg(&e.segs[i])
+	}
+	e.stats.parallelRounds++
+	e.stats.parallelSteps += int64(k)
 }
 
 // step resumes one process and waits for it to block or finish.
 func (e *Env) step(p *Proc) {
+	e.stats.handoffs++
 	p.resume <- struct{}{}
 	<-e.yield
+}
+
+// effect is one deferred kernel mutation recorded by a round step. A
+// schedule effect's entry already sits in the slab (allocated eagerly so
+// its ref is usable for timer registration); commit assigns its seq and
+// queues it. A cancel effect targets an entry committed earlier.
+type effect struct {
+	ref      entryRef
+	isCancel bool
+}
+
+// stepSeg buffers one round step's kernel effects in program order.
+type stepSeg struct {
+	effs []effect
+}
+
+// scheduleVia schedules target to resume at time at on behalf of p: directly
+// when p runs sequentially, buffered into p's segment during a round.
+func (e *Env) scheduleVia(p *Proc, target *Proc, at time.Duration) entryRef {
+	if p == nil || p.seg == nil {
+		return e.scheduleEntry(target, at)
+	}
+	e.allocMu.Lock()
+	id := e.allocEntry()
+	e.slab[id] = scheduled{at: at, proc: target, pos: -1}
+	e.allocMu.Unlock()
+	p.seg.effs = append(p.seg.effs, effect{ref: id})
+	return id
+}
+
+// cancelVia cancels a pending entry on behalf of p (see scheduleVia).
+func (e *Env) cancelVia(p *Proc, ref entryRef) {
+	if p == nil || p.seg == nil {
+		e.cancelEntry(ref)
+		return
+	}
+	p.seg.effs = append(p.seg.effs, effect{ref: ref, isCancel: true})
+}
+
+// commitSeg replays one round step's effects: schedules take the next seqs
+// (exactly the values the sequential scheduler would have assigned, since
+// segment order is step order and effects are in program order) and enter
+// the FIFO or heap under the usual same-instant rule; cancels resolve
+// against entries committed by earlier segments.
+func (e *Env) commitSeg(seg *stepSeg) {
+	for _, eff := range seg.effs {
+		ent := &e.slab[eff.ref]
+		if eff.isCancel {
+			if ent.seq == 0 {
+				ent.canceled = true // uncommitted: dropped by its own commit
+				continue
+			}
+			e.cancelEntry(eff.ref)
+			continue
+		}
+		e.seq++
+		ent.seq = e.seq
+		if ent.canceled {
+			// Canceled within the round: the seq is consumed (as it would be
+			// sequentially) but the entry never queues.
+			e.freeEntry(eff.ref)
+			continue
+		}
+		if ent.at == e.now {
+			e.today = append(e.today, eff.ref)
+			e.stats.fifoBypasses++
+		} else {
+			e.heapPush(eff.ref)
+			e.stats.heapPushes++
+		}
+	}
 }
 
 // queued returns the number of pending entries across the heap and the
 // same-instant FIFO.
 func (e *Env) queued() int { return len(e.heap) + len(e.today) - e.todayHead }
+
+// Pending returns the number of live queue entries (canceled FIFO entries
+// not yet dropped still count). The timer-leak regression test watches it.
+func (e *Env) Pending() int { return e.queued() }
 
 // Idle reports whether no events are pending. Processes blocked on
 // untriggered events do not count as pending work.
@@ -244,11 +642,11 @@ func (e *Env) Idle() bool { return e.queued() == 0 }
 // not triggered. A nonzero value after Run returns usually indicates a
 // modelling bug (a deadlocked process), unless those processes are servers
 // intentionally parked on demand queues.
-func (e *Env) Blocked() int { return e.blocked }
+func (e *Env) Blocked() int { return int(e.blocked.Load()) }
 
 // Procs returns the number of live processes.
-func (e *Env) Procs() int { return e.procs }
+func (e *Env) Procs() int { return int(e.procs.Load()) }
 
 func (e *Env) String() string {
-	return fmt.Sprintf("sim.Env{now=%v queued=%d procs=%d blocked=%d}", e.now, e.queued(), e.procs, e.blocked)
+	return fmt.Sprintf("sim.Env{now=%v queued=%d procs=%d blocked=%d}", e.now, e.queued(), e.Procs(), e.Blocked())
 }

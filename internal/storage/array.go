@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -54,6 +55,18 @@ type Config struct {
 	JournalLatency time.Duration
 	// Parallelism is the controller's concurrent operation limit (default 8).
 	Parallelism int
+	// IsolatedVolumes gives every volume its own single-slot service queue
+	// instead of funnelling all I/O through the shared controller resource,
+	// and scopes write-ack numbering to the volume's consistency group (its
+	// journal — group-wide for a sharded journal — or the volume itself when
+	// unjournaled). Within a group, ack order is still total — which is all
+	// consistency-group replication relies on — but GlobalSeq values are not
+	// comparable ACROSS groups in this mode. The fleet experiments enable it
+	// so per-tenant I/O shares no mutable array state with other tenants,
+	// which is what lets sim.RunParallel execute tenants concurrently.
+	// Management-plane paths (ApplyDeltaSet, snapshots) keep using the shared
+	// controller.
+	IsolatedVolumes bool
 }
 
 func (c Config) withDefaults() Config {
@@ -88,9 +101,10 @@ type Array struct {
 	groups     map[string]*SnapshotGroup
 	globalSeq  int64 // global ack counter across all volumes
 
-	// Stats.
-	writeOps, readOps int64
-	bytesWritten      int64
+	// Stats. Atomic because isolated-volume writes may execute inside
+	// parallel scheduler rounds (concurrent tenant steps).
+	writeOps, readOps atomic.Int64
+	bytesWritten      atomic.Int64
 }
 
 // NewArray returns an empty array attached to the simulation environment.
@@ -131,6 +145,9 @@ func (a *Array) CreateVolume(id VolumeID, sizeBlocks int64) (*Volume, error) {
 		array:      a,
 		sizeBlocks: sizeBlocks,
 		blocks:     make(map[int64][]byte),
+	}
+	if a.cfg.IsolatedVolumes {
+		v.queue = a.env.NewResource(1)
 	}
 	a.volumes[id] = v
 	return v, nil
@@ -396,13 +413,13 @@ func (a *Array) Residue(prefix string) []string {
 }
 
 // WriteOps returns the total number of block writes served.
-func (a *Array) WriteOps() int64 { return a.writeOps }
+func (a *Array) WriteOps() int64 { return a.writeOps.Load() }
 
 // ReadOps returns the total number of block reads served.
-func (a *Array) ReadOps() int64 { return a.readOps }
+func (a *Array) ReadOps() int64 { return a.readOps.Load() }
 
 // BytesWritten returns the total bytes written to volumes.
-func (a *Array) BytesWritten() int64 { return a.bytesWritten }
+func (a *Array) BytesWritten() int64 { return a.bytesWritten.Load() }
 
 func (a *Array) String() string {
 	return fmt.Sprintf("Array(%s){vols=%d journals=%d snaps=%d}", a.name, len(a.volumes), len(a.journals), len(a.snapshots))

@@ -40,6 +40,7 @@ type Journal struct {
 	members  []VolumeID
 	pending  []Record
 	nextSeq  int64
+	ackSeq   int64 // scoped ack order (isolated mode, ungrouped journals)
 	appended int64
 	drained  int64
 	notEmpty *sim.Event
@@ -115,8 +116,11 @@ func (j *Journal) overflowLocal() {
 	}
 }
 
-// append adds a record in ack order and returns its sequence number.
-func (j *Journal) append(vol VolumeID, block int64, data []byte, globalSeq int64, now time.Duration) int64 {
+// append adds a record in ack order and returns its sequence number. The
+// not-empty wakeup is attributed to the acking process p (when given) so a
+// drain blocked on NotEmpty resumes in the right slot of the (at, seq)
+// order even when the append ran inside a parallel scheduler round.
+func (j *Journal) append(p *sim.Proc, vol VolumeID, block int64, data []byte, globalSeq int64, now time.Duration) int64 {
 	j.nextSeq++
 	var epoch int64
 	if j.group != nil {
@@ -132,8 +136,25 @@ func (j *Journal) append(vol VolumeID, block int64, data []byte, globalSeq int64
 		AckedAt:   now,
 	})
 	j.appended++
-	j.notEmpty.Trigger()
+	if p != nil {
+		p.Trigger(j.notEmpty)
+	} else {
+		j.notEmpty.Trigger()
+	}
 	return j.nextSeq
+}
+
+// nextAckSeq stamps one member write in the journal's scoped ack order
+// (Config.IsolatedVolumes): group-wide for a shard of a sharded journal —
+// cross-shard merges rely on one ascending order per group — else local to
+// this journal.
+func (j *Journal) nextAckSeq() int64 {
+	if j.group != nil {
+		j.group.ackSeq++
+		return j.group.ackSeq
+	}
+	j.ackSeq++
+	return j.ackSeq
 }
 
 // Pending returns the number of records awaiting drain (the backlog).

@@ -44,7 +44,7 @@ func (a *Array) RestoreSnapshot(p *sim.Proc, snapID string) error {
 			v.blocks[b] = buf
 		}
 		v.writes++
-		a.writeOps++
+		a.writeOps.Add(1)
 	}
 	// The snapshot now matches the parent again; its COW set resets.
 	s.saved = make(map[int64][]byte)
@@ -74,8 +74,8 @@ func (a *Array) CloneVolume(p *sim.Proc, snapID string, newID VolumeID) (*Volume
 		copy(buf, data)
 		clone.blocks[b] = buf
 		clone.writes++
-		a.writeOps++
-		a.bytesWritten += int64(len(data))
+		a.writeOps.Add(1)
+		a.bytesWritten.Add(int64(len(data)))
 	}
 	for b, orig := range s.saved {
 		seen[b] = true

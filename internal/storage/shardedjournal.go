@@ -34,6 +34,7 @@ type ShardedJournal struct {
 	byVol   map[VolumeID]int // volume -> shard index
 	members []VolumeID       // attach order
 	epoch   int64            // current open epoch (starts at 1)
+	ackSeq  int64            // group-wide ack order (Config.IsolatedVolumes)
 
 	// capacityPerShard is inherited by shards added in a reshard.
 	capacityPerShard int

@@ -139,8 +139,33 @@ func (s *Snapshot) Read(p *sim.Proc, block int64) ([]byte, error) {
 	p.Sleep(a.cfg.ReadLatency)
 	a.controller.Release()
 	s.reads++
-	a.readOps++
+	a.readOps.Add(1)
 	return s.peek(block), nil
+}
+
+// ReadRange returns copies of count consecutive snapshot blocks starting at
+// start — one fused sequential scan, like Volume.ReadRange: the controller
+// is held once and the service time of count reads is charged in one step.
+func (s *Snapshot) ReadRange(p *sim.Proc, start int64, count int) ([][]byte, error) {
+	if count < 0 || start < 0 || start+int64(count) > s.parent.sizeBlocks {
+		return nil, fmt.Errorf("%w: snapshot %s[%d..%d)", ErrOutOfRange, s.id, start, start+int64(count))
+	}
+	a := s.parent.array
+	a.controller.Acquire(p)
+	p.Sleep(time.Duration(count) * a.cfg.ReadLatency)
+	a.controller.Release()
+	s.reads += int64(count)
+	a.readOps.Add(int64(count))
+	// One contiguous backing buffer for the range (see Volume.ReadRange).
+	bs := a.cfg.BlockSize
+	backing := make([]byte, count*bs)
+	out := make([][]byte, count)
+	for i := range out {
+		dst := backing[i*bs : (i+1)*bs : (i+1)*bs]
+		s.peekInto(dst, start+int64(i))
+		out[i] = dst
+	}
+	return out, nil
 }
 
 // Peek returns the snapshot-time block content without consuming simulated
@@ -149,14 +174,19 @@ func (s *Snapshot) Peek(block int64) []byte { return s.peek(block) }
 
 func (s *Snapshot) peek(block int64) []byte {
 	out := make([]byte, s.parent.array.cfg.BlockSize)
+	s.peekInto(out, block)
+	return out
+}
+
+// peekInto writes the snapshot-time block content into dst (assumed zeroed).
+func (s *Snapshot) peekInto(dst []byte, block int64) {
 	if orig, saved := s.saved[block]; saved {
-		copy(out, orig) // nil orig = zeroes, already satisfied
-		return out
+		copy(dst, orig) // nil orig = zeroes, already satisfied
+		return
 	}
 	if cur, ok := s.parent.blocks[block]; ok {
-		copy(out, cur)
+		copy(dst, cur)
 	}
-	return out
 }
 
 // SnapshotGroup is a set of snapshots created atomically across multiple
