@@ -4,12 +4,16 @@
 #         format check, vet, build, full tests (plain and -race: the sim
 #         kernel and the fabric dispatchers move work across goroutines),
 #         and `bench-check`, the bench-regression gate: every experiment
-#         harness (E1-E15) runs at -benchtime 3x -benchmem and FAILS the
+#         harness (E1-E16) runs at -benchtime 3x -benchmem and FAILS the
 #         build if any harness's ns/op regressed more than 25% against the
 #         committed BENCH_baseline.json (alloc regressions warn; new
 #         benches are allowed and reported). `make bench-smoke` is the
 #         cheaper 1x-iteration harness check when you only want "does it
-#         still run".
+#         still run". `make telemetry-smoke` runs the E16 observability
+#         experiment end-to-end and writes its telemetry export
+#         (telemetry.json, Chrome trace-event JSON viewable in Perfetto);
+#         CI archives it next to bench-report.json so a churn run's RPO
+#         timelines and span trace can be inspected from the run page.
 # CI:     .github/workflows/ci.yml runs exactly `make ci` on push/PR with
 #         Go module caching, so the same gate holds outside laptops.
 # Update: `make baseline` regenerates BENCH_baseline.json (ns/op, B/op,
@@ -27,9 +31,9 @@ GO ?= go
 # committed baseline).
 BENCH_THRESHOLD ?= 0.25
 
-.PHONY: ci fmt vet build test test-race bench-smoke bench-check baseline
+.PHONY: ci fmt vet build test test-race bench-smoke bench-check baseline telemetry-smoke
 
-ci: fmt vet build test test-race bench-check
+ci: fmt vet build test test-race bench-check telemetry-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -64,6 +68,13 @@ bench-check:
 	@$(GO) run ./cmd/benchcheck -baseline BENCH_baseline.json -threshold $(BENCH_THRESHOLD) \
 		-json bench-report.json < bench.out; \
 		status=$$?; rm -f bench.out; exit $$status
+
+# E16 smoke: run the observability experiment (churning fleet with the full
+# telemetry plane on, probed RPO cross-validated against the fleet sampler)
+# and write the telemetry export. Fails if the export or the cross-check
+# fails; CI uploads telemetry.json as a build artifact.
+telemetry-smoke:
+	$(GO) run ./cmd/experiments -run e16 -quick -telemetry telemetry.json
 
 # Record the bench numbers as JSON (one entry per harness, with -benchmem
 # allocation columns; minimum ns/op over -count 3, matching what

@@ -186,6 +186,41 @@ func BenchmarkE11_FleetScale(b *testing.B) {
 	}
 }
 
+// BenchmarkE11_FleetScaleTelemetry is BenchmarkE11_FleetScale with the
+// telemetry plane enabled: per-tenant RPO/backlog probes, fabric and
+// controller instruments, and lifecycle/epoch span tracing, all live at
+// 1,024 tenants. The sample period is kept coarse (5s of virtual time) so
+// the bench measures instrumentation overhead on the hot paths rather than
+// sample-point volume; the committed baseline requires it to track
+// BenchmarkE11_FleetScale within a few percent.
+func BenchmarkE11_FleetScaleTelemetry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E11FleetScaleTelemetry(int64(i+1), 1024, 8, 0, 5*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Verified != res.Tenants || res.Collapsed != 0 {
+			b.Fatalf("fleet inconsistent: %+v", res)
+		}
+	}
+}
+
+// BenchmarkE16_Observability regenerates E16: a churning fleet (join, live
+// reshard, mid-run failovers) with the full telemetry plane on, the
+// worst-RPO top-k query, and the probed RPO timelines cross-validated
+// against the fleet's own sampler within one sample interval.
+func BenchmarkE16_Observability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E16Observability(int64(i+1), 8, 8, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ValidatedTenants == 0 || res.Verified != res.Tenants {
+			b.Fatalf("observability run inconsistent: %+v", res)
+		}
+	}
+}
+
 // BenchmarkE14_Elasticity regenerates E14: the declarative tenant-lifecycle
 // experiment — a steady baseline fleet, then the same fleet with mid-run
 // joins (initial copy under OLTP load, one join racing a site failover) and

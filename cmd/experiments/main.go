@@ -1,5 +1,5 @@
 // Command experiments regenerates every table/figure of the reproduction
-// (E1-E15; DESIGN.md carries the experiment index). Select a subset with
+// (E1-E16; DESIGN.md carries the experiment index). Select a subset with
 // -run.
 package main
 
@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -14,10 +15,14 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment IDs (e1,e2,...,e15) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment IDs (e1,e2,...,e16) or 'all'")
 	seed := flag.Int64("seed", 1, "base simulation seed")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
+	kernelStats := flag.Bool("kernelstats", false, "print kernel scheduler counters for every simulated environment")
+	telemetryOut := flag.String("telemetry", "", "write E16's telemetry export (Chrome trace-event JSON) to this path")
 	flag.Parse()
+
+	experiments.CollectKernelStats(*kernelStats)
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(strings.ToLower(*run), ",") {
@@ -164,6 +169,28 @@ func main() {
 		}
 		fmt.Println(experiments.E15Table(res))
 	}
+	if sel("e16") {
+		tenants, e16Orders := 16, 12
+		if *quick {
+			tenants, e16Orders = 8, 8
+		}
+		res, err := experiments.E16Observability(*seed, tenants, e16Orders, 1)
+		if err != nil {
+			log.Fatalf("E16: %v", err)
+		}
+		fmt.Println(experiments.E16Table(res))
+		if *telemetryOut != "" {
+			data, err := res.Registry.ExportJSON()
+			if err != nil {
+				log.Fatalf("E16: telemetry export: %v", err)
+			}
+			if err := os.WriteFile(*telemetryOut, data, 0o644); err != nil {
+				log.Fatalf("E16: telemetry export: %v", err)
+			}
+			fmt.Printf("telemetry export written to %s (%d bytes; open in Perfetto / chrome://tracing)\n\n",
+				*telemetryOut, len(data))
+		}
+	}
 	if sel("e9") {
 		batch, err := experiments.E9BatchSweep(*seed, []int{1, 4, 16, 64, 256}, orders)
 		if err != nil {
@@ -180,5 +207,8 @@ func main() {
 			log.Fatalf("E9c: %v", err)
 		}
 		fmt.Println(experiments.E9SkewTable(skew))
+	}
+	if *kernelStats {
+		fmt.Println(experiments.KernelStatsTable())
 	}
 }

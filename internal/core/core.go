@@ -28,6 +28,7 @@ import (
 	"repro/internal/replication"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -70,6 +71,11 @@ type Config struct {
 	// fabric path (experiment E13). 0 or 1 keeps the paper's single shared
 	// journal — a strict passthrough.
 	JournalShards int
+	// Telemetry, when set, enables the sim-time observability plane: a
+	// registry of instruments (per-tenant RPO probes, lane staging, fabric
+	// queue depths, controller latency) plus span tracing, exportable as
+	// Chrome trace-event JSON. Nil keeps telemetry disabled at zero cost.
+	Telemetry *telemetry.Config
 	// DB tunes the databases opened by DeployBusinessProcess.
 	DB db.Config
 	// VolumeBlocks is the size of each provisioned volume (default 2048).
@@ -117,6 +123,10 @@ type System struct {
 	// so single-link chaos (Partition/Heal/RTT) reads as before.
 	Links  *netlink.Pair
 	Fabric *fabric.Interconnect
+
+	// Telemetry is the system's instrument registry; nil when Config left
+	// telemetry disabled.
+	Telemetry *telemetry.Registry
 
 	Operator    *operator.Operator
 	Provisioner *csiplugin.Provisioner
@@ -169,6 +179,9 @@ func NewSystem(cfg Config) *System {
 		tenantClass:       make(map[string]string),
 		tenantLaneClasses: make(map[string][]string),
 	}
+	if cfg.Telemetry != nil {
+		sys.Telemetry = telemetry.New(env, *cfg.Telemetry)
+	}
 	// Inter-site fabric: member links default to the single cfg.Link; a
 	// Fabric.Links roster swaps in a multi-link interconnect. Member 0's
 	// pair stays exposed as sys.Links.
@@ -184,6 +197,8 @@ func NewSystem(cfg Config) *System {
 	}
 	sys.Links = &netlink.Pair{Forward: fwd[0], Reverse: rev[0]}
 	sys.Fabric = fabric.NewInterconnect(env, cfg.Fabric, fwd, rev)
+	sys.Fabric.Forward.Instrument(sys.Telemetry, "fwd")
+	sys.Fabric.Reverse.Instrument(sys.Telemetry, "rev")
 	sys.Provisioner = csiplugin.NewProvisioner(env, sys.Main.API,
 		map[string]*storage.Array{sys.Main.Array.Name(): sys.Main.Array})
 	sys.Replication = csiplugin.NewReplicationPlugin(env, csiplugin.SitePair{
@@ -193,10 +208,12 @@ func NewSystem(cfg Config) *System {
 		BackupArray: sys.Backup.Array,
 		PathFor:     func(namespace string) fabric.Path { return sys.PathFor(namespace) },
 		LanePathFor: func(namespace string, lane int) fabric.Path { return sys.LanePathFor(namespace, lane) },
+		Telemetry:   sys.Telemetry,
 	}, cfg.Replication)
 	sys.Operator = operator.New(env, sys.Main.API, operator.Config{
 		ConsistencyGroup: *cfg.ConsistencyGroup,
 		JournalShards:    cfg.JournalShards,
+		Telemetry:        sys.Telemetry,
 	})
 	sys.Main.Snapshots = csiplugin.NewSnapshotController(env, sys.Main.API, sys.Main.Array, cfg.FeatureGates)
 	sys.Backup.Snapshots = csiplugin.NewSnapshotController(env, sys.Backup.API, sys.Backup.Array, cfg.FeatureGates)

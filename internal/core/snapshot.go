@@ -168,6 +168,7 @@ func (sys *System) Failover(p *sim.Proc, namespace string) (*FailoverResult, err
 			return nil, err
 		}
 	}
+	sys.Telemetry.Instant("failover", "site-cut", namespace)
 	start := p.Now()
 	salesVol, err := sys.Backup.Array.Volume(csiplugin.VolumeIDForClaim(namespace, "sales"))
 	if err != nil {

@@ -53,9 +53,10 @@ func (sys *System) newTenantControllers() []*platform.Controller {
 		}
 		return []platform.ObjectKey{tenantKey(ns)}
 	}
+	cc := platform.ControllerConfig{Telemetry: sys.Telemetry}
 	return []*platform.Controller{
 		platform.NewController(sys.Env, sys.Main.API, "tenant-controller",
-			platform.KindTenant, nil, rec, platform.ControllerConfig{}),
+			platform.KindTenant, nil, rec, cc),
 		platform.NewController(sys.Env, sys.Main.API, "tenant-controller-rg",
 			platform.KindReplicationGroup, func(ev platform.Event) []platform.ObjectKey {
 				ns, ok := operator.NamespaceOfGroup(ev.Object.GetMeta().Name)
@@ -63,15 +64,15 @@ func (sys *System) newTenantControllers() []*platform.Controller {
 					return nil
 				}
 				return managedKey(ns)
-			}, rec, platform.ControllerConfig{}),
+			}, rec, cc),
 		platform.NewController(sys.Env, sys.Main.API, "tenant-controller-pvc",
 			platform.KindPVC, func(ev platform.Event) []platform.ObjectKey {
 				return managedKey(ev.Object.GetMeta().Namespace)
-			}, rec, platform.ControllerConfig{}),
+			}, rec, cc),
 		platform.NewController(sys.Env, sys.Main.API, "tenant-controller-ns",
 			platform.KindNamespace, func(ev platform.Event) []platform.ObjectKey {
 				return managedKey(ev.Object.GetMeta().Name)
-			}, rec, platform.ControllerConfig{}),
+			}, rec, cc),
 	}
 }
 

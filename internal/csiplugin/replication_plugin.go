@@ -9,6 +9,7 @@ import (
 	"repro/internal/replication"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // SitePair wires the replication plugin to both sites' resources.
@@ -27,6 +28,10 @@ type SitePair struct {
 	// it every lane shares the namespace path, which serializes transfers
 	// and forfeits most of the sharding win.
 	LanePathFor func(namespace string, lane int) fabric.Path
+	// Telemetry, when set, has every created engine register its RPO and
+	// lane probes under the source namespace, and instruments the plugin's
+	// own controller.
+	Telemetry *telemetry.Registry
 }
 
 // pathFor resolves the transfer path for a namespace's groups.
@@ -75,7 +80,7 @@ func NewReplicationPlugin(env *sim.Env, sites SitePair, cfg replication.Config) 
 	}
 	rp.ctrl = platform.NewController(env, sites.MainAPI, "replication-plugin",
 		platform.KindReplicationGroup, nil, platform.ReconcilerFunc(rp.reconcile),
-		platform.ControllerConfig{})
+		platform.ControllerConfig{Telemetry: sites.Telemetry})
 	return rp
 }
 
@@ -215,6 +220,7 @@ func (rp *ReplicationPlugin) reconcile(p *sim.Proc, key platform.ObjectKey) erro
 		if err := g.InitialCopy(p, rp.sites.MainArray); err != nil {
 			return err
 		}
+		g.Instrument(rp.sites.Telemetry, rg.Spec.SourceNamespace)
 		g.Start()
 		created = append(created, g)
 		rp.nsByGroup[g] = rg.Spec.SourceNamespace
@@ -257,6 +263,12 @@ func (rp *ReplicationPlugin) reconcile(p *sim.Proc, key platform.ObjectKey) erro
 		}
 		if err := g.InitialCopy(p, rp.sites.MainArray); err != nil {
 			return err
+		}
+		// Per-volume journal layouts (the collapse-prone E6 configuration)
+		// would fold several engines into one tenant key, so only the
+		// consistency-group layout registers the namespace's probes.
+		if rg.Spec.ConsistencyGroup {
+			g.Instrument(rp.sites.Telemetry, rg.Spec.SourceNamespace)
 		}
 		g.Start()
 		created = append(created, g)
@@ -318,6 +330,9 @@ func (rp *ReplicationPlugin) maybeReshard(p *sim.Proc, rg *platform.ReplicationG
 		if err != nil {
 			return err
 		}
+		// The upgrade rebinds the tenant's probes from the detached plain
+		// engine to its successor: one continuous timeline across the swap.
+		sg.Instrument(rp.sites.Telemetry, ns)
 		sg.Start()
 		rp.groups[rg.Name] = []replication.Replicator{sg}
 		delete(rp.nsByGroup, old)

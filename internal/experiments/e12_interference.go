@@ -336,6 +336,7 @@ func e12Run(seed int64, sc e12Scenario, orders int) (InterferenceResult, error) 
 		fab.Stop()
 	})
 	env.Run(0)
+	recordKernel("e12/"+sc.name, env)
 	if verr != nil {
 		return res, verr
 	}

@@ -194,6 +194,7 @@ func e13Run(seed int64, shards, writes int, failover bool, res *ShardedThroughpu
 	// loop) do not accumulate parked simulation processes.
 	sys.Stop()
 	sys.Env.Run(0)
+	recordKernel(fmt.Sprintf("e13/shards=%d,failover=%v", shards, failover), sys.Env)
 	return runErr
 }
 

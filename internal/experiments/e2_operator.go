@@ -78,6 +78,7 @@ func E2Operator(seed int64, volumeCounts []int) ([]OperatorResult, error) {
 		}
 		sys.Stop() // quiesce so bench iterations do not accumulate parked procs
 		sys.Env.Run(time.Hour)
+		recordKernel(fmt.Sprintf("e2/volumes=%d", n), sys.Env)
 		out = append(out, res)
 	}
 	return out, nil

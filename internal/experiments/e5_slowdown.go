@@ -47,6 +47,7 @@ func E5Slowdown(seed int64, rtts []time.Duration, orders int) ([]SlowdownResult,
 				Throughput: float64(orders) / span.Seconds(),
 			})
 			r.stop()
+			recordKernel(fmt.Sprintf("e5/%s,rtt=%v", mode, rtt), r.env)
 		}
 	}
 	return out, nil

@@ -1,0 +1,38 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Instrument registers this direction's fabric probes: ingress queue depth,
+// per-class cumulative bytes and admission drops, and per-member-link bytes
+// on the wire. dir labels the direction ("fwd"/"rev"). All probes read
+// plain counters the dispatchers maintain anyway, sampled between instants,
+// so instrumentation changes no behavior. No-op when reg is nil.
+func (f *Fabric) Instrument(reg *telemetry.Registry, dir string) {
+	if reg == nil {
+		return
+	}
+	reg.Probe("fabric.ingress.depth", func(time.Duration) (float64, bool) {
+		return float64(f.queued), true
+	}, telemetry.L("dir", dir))
+	for _, c := range f.classes {
+		c := c
+		labels := []telemetry.Label{telemetry.L("dir", dir), telemetry.L("class", c.cfg.Name)}
+		reg.Probe("fabric.class.bytes", func(time.Duration) (float64, bool) {
+			return float64(c.bytes), true
+		}, labels...)
+		reg.Probe("fabric.class.drops", func(time.Duration) (float64, bool) {
+			return float64(c.drops), true
+		}, labels...)
+	}
+	for i, l := range f.links {
+		l := l
+		reg.Probe("fabric.link.bytes", func(time.Duration) (float64, bool) {
+			return float64(l.SentBytes()), true
+		}, telemetry.L("dir", dir), telemetry.L("link", fmt.Sprintf("%d", i)))
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -447,6 +448,10 @@ func (f *Fleet) runTenant(p *sim.Proc, t *Tenant) error {
 		p.Sleep(t.JoinAfter - p.Now())
 	}
 	start := p.Now()
+	var provSpan telemetry.Span
+	if tel := f.Sys.Telemetry; tel != nil {
+		provSpan = tel.StartSpan("lifecycle", "provision", t.Namespace)
+	}
 	bp, err := f.Sys.ProvisionTenant(p, platform.TenantSpec{
 		Namespace:     t.Namespace,
 		PVCNames:      []string{"sales", "stock"},
@@ -456,6 +461,7 @@ func (f *Fleet) runTenant(p *sim.Proc, t *Tenant) error {
 		JournalShards: t.Shards,
 		Profile:       "oltp-external", // the fleet attaches its own seeded shop
 	})
+	provSpan.End()
 	if err != nil {
 		f.gateArrive(p, t, false) // don't strand the rest of the roster
 		return fmt.Errorf("provision: %w", err)
@@ -553,7 +559,13 @@ func (f *Fleet) runTenant(p *sim.Proc, t *Tenant) error {
 		// before teardown reclaims the paths.
 		f.Sys.CatchUp(p, t.Namespace)
 		f.captureFabric(t)
-		if err := f.Sys.DecommissionTenant(p, t.Namespace); err != nil {
+		var leaveSpan telemetry.Span
+		if tel := f.Sys.Telemetry; tel != nil {
+			leaveSpan = tel.StartSpan("lifecycle", "decommission", t.Namespace)
+		}
+		err := f.Sys.DecommissionTenant(p, t.Namespace)
+		leaveSpan.End()
+		if err != nil {
 			return fmt.Errorf("decommission: %w", err)
 		}
 		t.LeftAt = p.Now()

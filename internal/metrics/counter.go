@@ -119,6 +119,18 @@ func (s *Series) Mean() float64 {
 	return sum / float64(len(s.points))
 }
 
+// Window returns the sub-slice of points with from <= At <= to (not a
+// copy; callers must not mutate). It is the query primitive behind
+// per-tenant RPO timelines clipped to a tenant's active interval.
+func (s *Series) Window(from, to time.Duration) []Point {
+	lo := sort.Search(len(s.points), func(i int) bool { return s.points[i].At >= from })
+	hi := sort.Search(len(s.points), func(i int) bool { return s.points[i].At > to })
+	if lo >= hi {
+		return nil
+	}
+	return s.points[lo:hi]
+}
+
 // At returns the value at the latest point with time <= at, or 0 when none.
 func (s *Series) At(at time.Duration) float64 {
 	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].At > at })

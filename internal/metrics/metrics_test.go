@@ -59,6 +59,66 @@ func TestHistogramReset(t *testing.T) {
 	}
 }
 
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram()
+	b := NewHistogram()
+	for i := 1; i <= 50; i++ {
+		a.Record(time.Duration(i) * time.Millisecond)
+	}
+	for i := 51; i <= 100; i++ {
+		b.Record(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 100 {
+		t.Fatalf("count after merge = %d", a.Count())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 100*time.Millisecond {
+		t.Fatalf("min/max after merge = %v/%v", a.Min(), a.Max())
+	}
+	if got := a.Sum(); got != 5050*time.Millisecond {
+		t.Fatalf("sum after merge = %v, want 5.05s", got)
+	}
+	if got := a.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 after merge = %v, want 50ms", got)
+	}
+	if got := a.Percentile(99); got != 99*time.Millisecond {
+		t.Fatalf("p99 after merge = %v, want 99ms", got)
+	}
+	// b is untouched by the merge.
+	if b.Count() != 50 || b.Min() != 51*time.Millisecond {
+		t.Fatalf("merge mutated other: n=%d min=%v", b.Count(), b.Min())
+	}
+}
+
+func TestHistogramMergeIntoEmpty(t *testing.T) {
+	a := NewHistogram()
+	b := NewHistogram()
+	b.Record(7 * time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	a.Merge(b)
+	if a.Min() != 3*time.Millisecond || a.Max() != 7*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	// Merging an empty (or nil) histogram is a no-op.
+	a.Merge(NewHistogram())
+	a.Merge(nil)
+	if a.Count() != 2 || a.Min() != 3*time.Millisecond {
+		t.Fatalf("no-op merge changed state: n=%d min=%v", a.Count(), a.Min())
+	}
+}
+
+func TestHistogramMergeResortsLazily(t *testing.T) {
+	a := NewHistogram()
+	a.Record(10 * time.Millisecond)
+	_ = a.Median() // force sorted state
+	b := NewHistogram()
+	b.Record(time.Millisecond)
+	a.Merge(b)
+	if got := a.Percentile(1); got != time.Millisecond {
+		t.Fatalf("p1 after merge = %v, want 1ms (merge must invalidate sort)", got)
+	}
+}
+
 func TestHistogramPercentileMonotonic(t *testing.T) {
 	// Property: percentiles are nondecreasing in p, and bounded by min/max.
 	f := func(seed int64) bool {
@@ -151,6 +211,26 @@ func TestSeriesAtAndMax(t *testing.T) {
 	}
 	if got := s.Mean(); got < 2.66 || got > 2.67 {
 		t.Fatalf("mean = %v, want 8/3", got)
+	}
+}
+
+func TestSeriesWindow(t *testing.T) {
+	s := NewSeries("rpo")
+	for i := 0; i < 10; i++ {
+		s.Append(time.Duration(i)*time.Second, float64(i))
+	}
+	w := s.Window(2*time.Second, 5*time.Second)
+	if len(w) != 4 || w[0].Value != 2 || w[3].Value != 5 {
+		t.Fatalf("window [2s,5s] = %+v", w)
+	}
+	if w := s.Window(time.Minute, 2*time.Minute); w != nil {
+		t.Fatalf("out-of-range window = %+v", w)
+	}
+	if w := s.Window(5*time.Second, 2*time.Second); w != nil {
+		t.Fatalf("inverted window = %+v", w)
+	}
+	if w := s.Window(0, time.Hour); len(w) != 10 {
+		t.Fatalf("full window len = %d", len(w))
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Tag is the namespace label key the operator watches.
@@ -46,6 +47,9 @@ type Config struct {
 	// each group's journal across that many drain lanes (E13); 0 or 1
 	// keeps the single shared journal.
 	JournalShards int
+	// Telemetry, when set, instruments the operator's controllers
+	// (reconcile latency, requeues, reconcile spans).
+	Telemetry *telemetry.Registry
 }
 
 // Operator is the namespace operator.
@@ -66,11 +70,11 @@ type Operator struct {
 func New(env *sim.Env, api *platform.APIServer, cfg Config) *Operator {
 	o := &Operator{env: env, api: api, cfg: cfg}
 	o.ctrl = platform.NewController(env, api, "namespace-operator", platform.KindNamespace,
-		nil, platform.ReconcilerFunc(o.reconcile), platform.ControllerConfig{})
+		nil, platform.ReconcilerFunc(o.reconcile), platform.ControllerConfig{Telemetry: cfg.Telemetry})
 	o.pvcCtrl = platform.NewController(env, api, "namespace-operator-pvc", platform.KindPVC,
 		func(ev platform.Event) []platform.ObjectKey {
 			return []platform.ObjectKey{{Kind: platform.KindNamespace, Name: ev.Object.GetMeta().Namespace}}
-		}, platform.ReconcilerFunc(o.reconcile), platform.ControllerConfig{})
+		}, platform.ReconcilerFunc(o.reconcile), platform.ControllerConfig{Telemetry: cfg.Telemetry})
 	return o
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Reconciler is the level-triggered reconcile hook: bring the world to the
@@ -26,6 +27,9 @@ type ControllerConfig struct {
 	RetryDelay time.Duration
 	// MaxRetryDelay caps the backoff (default 1s).
 	MaxRetryDelay time.Duration
+	// Telemetry, when set, records per-controller reconcile latency,
+	// requeues, and reconcile-pass spans into the registry.
+	Telemetry *telemetry.Registry
 }
 
 func (c ControllerConfig) withDefaults() ControllerConfig {
@@ -58,6 +62,11 @@ type Controller struct {
 
 	reconciles int64
 	errors     int64
+
+	// Telemetry instruments (nil handles no-op when the plane is disabled).
+	tel      *telemetry.Registry
+	latency  *telemetry.Histogram
+	requeues *telemetry.Counter
 }
 
 // NewController builds a controller for kind on the API server. mapFn
@@ -68,7 +77,7 @@ func NewController(env *sim.Env, api *APIServer, name string, kind Kind,
 	if mapFn == nil {
 		mapFn = func(ev Event) []ObjectKey { return []ObjectKey{ev.Object.GetMeta().Key()} }
 	}
-	return &Controller{
+	c := &Controller{
 		name:   name,
 		env:    env,
 		api:    api,
@@ -81,6 +90,12 @@ func NewController(env *sim.Env, api *APIServer, name string, kind Kind,
 		stop:   env.NewEvent(),
 		fails:  make(map[ObjectKey]int),
 	}
+	if reg := c.cfg.Telemetry; reg != nil {
+		c.tel = reg
+		c.latency = reg.Histogram("controller.reconcile.latency", telemetry.L("controller", name))
+		c.requeues = reg.Counter("controller.requeues", telemetry.L("controller", name))
+	}
+	return c
 }
 
 // Enqueue adds a key to the work queue (deduplicated while pending).
@@ -126,8 +141,17 @@ func (c *Controller) Start() {
 			c.queue = c.queue[1:]
 			delete(c.queued, key)
 			c.reconciles++
-			if err := c.rec.Reconcile(p, key); err != nil {
+			var sp telemetry.Span
+			start := p.Now()
+			if c.tel != nil {
+				sp = c.tel.StartSpan("reconcile", key.String(), c.name)
+			}
+			err := c.rec.Reconcile(p, key)
+			sp.End()
+			c.latency.Record(p.Now() - start)
+			if err != nil {
 				c.errors++
+				c.requeues.Inc()
 				c.fails[key]++
 				delay := c.cfg.RetryDelay << uint(c.fails[key]-1)
 				if delay > c.cfg.MaxRetryDelay || delay <= 0 {

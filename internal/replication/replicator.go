@@ -7,6 +7,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // ErrReshardUnsupported reports a live Reshard request on an engine that
@@ -60,6 +61,10 @@ type Replicator interface {
 
 	Failover() ([]*storage.Volume, error)
 	FailedOver() bool
+
+	// Instrument registers the engine's telemetry probes (RPO, backlog,
+	// lane state) under the tenant label. No-op when reg is nil.
+	Instrument(reg *telemetry.Registry, tenant string)
 }
 
 var (

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // ShardedGroup replicates one sharded consistency-group journal to target
@@ -69,6 +70,13 @@ type ShardedGroup struct {
 	lastCommittedAck time.Duration
 	applyLog         []storage.Record // committed at target, for verification
 	lost             []storage.Record // abandoned mid-transfer by Stop
+
+	// Telemetry (set by Instrument; nil handles no-op when disabled).
+	tel          *telemetry.Registry
+	tenant       string
+	epochLatency *telemetry.Histogram
+	reshardSpan  telemetry.Span
+	laneGen      map[int]int // lane index -> registrations (probe-key generations)
 }
 
 // drainLane is one shard's drain state. Each lane owns its batch scratch
@@ -132,7 +140,11 @@ func NewShardedGroup(env *sim.Env, name string, journal *storage.ShardedJournal,
 }
 
 func (g *ShardedGroup) newLane(idx int, shard *storage.Journal, path fabric.Path) *drainLane {
-	return &drainLane{idx: idx, journal: shard, path: path, retire: g.env.NewEvent()}
+	l := &drainLane{idx: idx, journal: shard, path: path, retire: g.env.NewEvent()}
+	// Lanes added by a live reshard register their probes here, so their
+	// timelines start at the migration instant.
+	g.instrumentLane(l)
+	return l
 }
 
 // Name returns the group name.
@@ -305,6 +317,11 @@ func (g *ShardedGroup) coordinate(p *sim.Proc) {
 			continue
 		}
 		sealed := g.journal.SealEpoch()
+		sealedAt := p.Now()
+		var sp telemetry.Span
+		if g.tel != nil {
+			sp = g.tel.StartSpan("epoch", "epoch-drain", g.tenant)
+		}
 		for !g.allStagedThrough(sealed) {
 			if p.WaitAny(g.progressEv(), g.stopEv) == 1 {
 				return
@@ -314,6 +331,8 @@ func (g *ShardedGroup) coordinate(p *sim.Proc) {
 			}
 		}
 		g.commitEpoch(p, sealed)
+		sp.End()
+		g.epochLatency.Record(p.Now() - sealedAt)
 	}
 }
 
@@ -597,6 +616,10 @@ func (g *ShardedGroup) Reshard(p *sim.Proc, paths []fabric.Path) (storage.Reshar
 	g.migrationBarrier = stats.BarrierEpoch
 	g.reshardSettled = g.env.NewEvent()
 	g.reshards++
+	if g.tel != nil {
+		g.reshardSpan = g.tel.StartSpan("reshard",
+			fmt.Sprintf("reshard:%d->%d", stats.From, stats.To), g.tenant)
+	}
 
 	shards := g.journal.Shards()
 	if len(shards) < len(g.lanes) {
@@ -657,6 +680,10 @@ func (g *ShardedGroup) settleReshard() {
 		if !g.reshardSettled.Triggered() {
 			g.reshardSettled.Trigger()
 		}
+		// Close the migration-window span exactly once per reshard; the
+		// zero-value reset makes later settle passes no-ops.
+		g.reshardSpan.End()
+		g.reshardSpan = telemetry.Span{}
 	}
 }
 

@@ -73,6 +73,10 @@ type Env struct {
 	stats   statCounters
 	traceOn bool
 	trace   []TraceEntry
+
+	// advance holds the registered OnAdvance observers, called in
+	// registration order whenever virtual time moves forward.
+	advance []func(from, to time.Duration)
 }
 
 // statCounters is the internal, partly-atomic form of Stats. Fields mutated
@@ -134,6 +138,30 @@ func (e *Env) StartTrace() {
 
 // Trace returns the steps recorded since StartTrace.
 func (e *Env) Trace() []TraceEntry { return e.trace }
+
+// OnAdvance registers fn to be called every time virtual time advances: just
+// before the clock moves from `from` to `to` (to > from), including the final
+// cut to the horizon. Observers run on the scheduler goroutine between
+// instants — every process is parked, no step is executing, and (under
+// RunParallel) no round is in flight — so they may freely READ simulation
+// state. They must not schedule events, start processes, trigger events, or
+// touch the RNG: an observer consumes no seqs and adds no steps, which is
+// what lets the telemetry plane sample on the virtual clock without
+// perturbing the (at, seq) total order.
+func (e *Env) OnAdvance(fn func(from, to time.Duration)) {
+	e.advance = append(e.advance, fn)
+}
+
+// advanceTo moves the clock to `to`, notifying OnAdvance observers first
+// (they observe the fully-drained state of the instant being left).
+func (e *Env) advanceTo(to time.Duration) {
+	if to > e.now {
+		for _, fn := range e.advance {
+			fn(e.now, to)
+		}
+	}
+	e.now = to
+}
 
 // NewEnv returns an environment whose random source is seeded with seed.
 // The same seed always yields the same execution.
@@ -424,10 +452,10 @@ func (e *Env) run(horizon time.Duration, workers int) time.Duration {
 				continue
 			}
 			if horizon > 0 && e.slab[next].at > horizon {
-				e.now = horizon
+				e.advanceTo(horizon)
 				return e.now
 			}
-			e.now = e.slab[next].at
+			e.advanceTo(e.slab[next].at)
 			continue
 		}
 		if workers > 1 {

@@ -257,6 +257,17 @@ func (sj *ShardedJournal) Pending() int {
 	return n
 }
 
+// ShardPending returns each shard's backlog record count in shard-index
+// order — the telemetry plane's per-shard backlog probe reads this to
+// expose lane imbalance that the group-wide Pending() sum hides.
+func (sj *ShardedJournal) ShardPending() []int {
+	out := make([]int, len(sj.shards))
+	for k, j := range sj.shards {
+		out[k] = j.Pending()
+	}
+	return out
+}
+
 // PendingBytes returns the wire size of the backlog across all shards.
 func (sj *ShardedJournal) PendingBytes() int {
 	var n int

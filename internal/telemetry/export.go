@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sort"
+	"time"
+)
+
+// Export is the serialized registry: a Chrome trace-event object (load the
+// JSON straight into Perfetto; it ignores the extra instrument sections)
+// with the counters, gauges, histograms, and probed series riding alongside
+// under their canonical keys. Marshaling is deterministic: instrument
+// sections are maps (encoding/json sorts map keys), trace tracks get ids in
+// sorted-name order, and spans appear in record order — which the recording
+// rules make identical across schedulers.
+type Export struct {
+	DisplayTimeUnit string                   `json:"displayTimeUnit"`
+	SamplePeriodNS  int64                    `json:"samplePeriodNs"`
+	TraceEvents     []TraceEvent             `json:"traceEvents"`
+	Counters        map[string]int64         `json:"counters"`
+	Gauges          map[string]GaugeExport   `json:"gauges"`
+	Histograms      map[string]HistExport    `json:"histograms"`
+	Series          map[string][]SeriesPoint `json:"series"`
+}
+
+// TraceEvent is one Chrome trace-event record. Times are microseconds of
+// virtual time ("ts"/"dur"), per the trace-event format.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// GaugeExport is one gauge's serialized state.
+type GaugeExport struct {
+	Last int64 `json:"last"`
+	Min  int64 `json:"min"`
+	Max  int64 `json:"max"`
+}
+
+// HistExport is one histogram's serialized digest.
+type HistExport struct {
+	Count  int   `json:"count"`
+	SumNS  int64 `json:"sumNs"`
+	MinNS  int64 `json:"minNs"`
+	MaxNS  int64 `json:"maxNs"`
+	MeanNS int64 `json:"meanNs"`
+	P50NS  int64 `json:"p50Ns"`
+	P99NS  int64 `json:"p99Ns"`
+}
+
+// SeriesPoint is one probed sample.
+type SeriesPoint struct {
+	AtNS int64   `json:"atNs"`
+	V    float64 `json:"v"`
+}
+
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// Snapshot assembles the export structure. Returns the zero Export when the
+// registry is disabled.
+func (r *Registry) Snapshot() Export {
+	ex := Export{
+		DisplayTimeUnit: "ms",
+		Counters:        map[string]int64{},
+		Gauges:          map[string]GaugeExport{},
+		Histograms:      map[string]HistExport{},
+		Series:          map[string][]SeriesPoint{},
+	}
+	if r == nil {
+		return ex
+	}
+	ex.SamplePeriodNS = int64(r.period)
+
+	// Spans render one Perfetto row per track; tids go to tracks in sorted
+	// name order so the layout is stable across runs.
+	tracks := map[string]int{}
+	for _, sp := range r.spans {
+		tracks[sp.track] = 0
+	}
+	names := make([]string, 0, len(tracks))
+	for n := range tracks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		tracks[n] = i + 1
+		ex.TraceEvents = append(ex.TraceEvents, TraceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: i + 1,
+			Args: map[string]any{"name": n},
+		})
+	}
+	now := r.env.Now()
+	for _, sp := range r.spans {
+		ev := TraceEvent{
+			Name: sp.name, Cat: sp.cat, Pid: 1, Tid: tracks[sp.track],
+			Ts: micros(sp.start),
+		}
+		switch {
+		case sp.instant:
+			ev.Ph, ev.S = "i", "t"
+		default:
+			ev.Ph = "X"
+			end := sp.end
+			if end < 0 { // still open at export time: clamp to now
+				end = now
+			}
+			ev.Dur = micros(end - sp.start)
+		}
+		ex.TraceEvents = append(ex.TraceEvents, ev)
+	}
+
+	for _, c := range r.counters {
+		ex.Counters[c.key] = c.c.Value()
+	}
+	for _, g := range r.gauges {
+		ex.Gauges[g.key] = GaugeExport{Last: g.g.Value(), Min: g.g.Min(), Max: g.g.Max()}
+	}
+	for _, h := range r.histograms {
+		ex.Histograms[h.key] = HistExport{
+			Count:  h.h.Count(),
+			SumNS:  int64(h.h.Sum()),
+			MinNS:  int64(h.h.Min()),
+			MaxNS:  int64(h.h.Max()),
+			MeanNS: int64(h.h.Mean()),
+			P50NS:  int64(h.h.Median()),
+			P99NS:  int64(h.h.P99()),
+		}
+	}
+	for _, p := range r.probes {
+		pts := make([]SeriesPoint, 0, p.series.Len())
+		for _, pt := range p.series.Points() {
+			pts = append(pts, SeriesPoint{AtNS: int64(pt.At), V: pt.Value})
+		}
+		ex.Series[p.key] = pts
+	}
+	return ex
+}
+
+// ExportJSON renders the registry deterministically (indented, so the
+// export is diffable and the golden tests can compare bytes).
+func (r *Registry) ExportJSON() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", " ")
+}
