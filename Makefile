@@ -4,7 +4,7 @@
 #         format check, vet, build, full tests (plain and -race: the sim
 #         kernel and the fabric dispatchers move work across goroutines),
 #         and `bench-check`, the bench-regression gate: every experiment
-#         harness (E1-E16) runs at -benchtime 3x -benchmem and FAILS the
+#         harness (E1-E17) runs at -benchtime 3x -benchmem and FAILS the
 #         build if any harness's ns/op regressed more than 25% against the
 #         committed BENCH_baseline.json (alloc regressions warn; new
 #         benches are allowed and reported). `make bench-smoke` is the
@@ -14,6 +14,10 @@
 #         (telemetry.json, Chrome trace-event JSON viewable in Perfetto);
 #         CI archives it next to bench-report.json so a churn run's RPO
 #         timelines and span trace can be inspected from the run page.
+#         `make autopilot-smoke` runs the E17 SLO-autopilot experiment
+#         end-to-end and writes its decision log (e17-decisions.log) —
+#         the byte-exact audit trail of every reshard/derate/restore/
+#         placement the control loop actuated; CI archives it too.
 # CI:     .github/workflows/ci.yml runs exactly `make ci` on push/PR with
 #         Go module caching, so the same gate holds outside laptops.
 # Update: `make baseline` regenerates BENCH_baseline.json (ns/op, B/op,
@@ -31,9 +35,9 @@ GO ?= go
 # committed baseline).
 BENCH_THRESHOLD ?= 0.25
 
-.PHONY: ci fmt vet build test test-race bench-smoke bench-check baseline telemetry-smoke
+.PHONY: ci fmt vet build test test-race bench-smoke bench-check baseline telemetry-smoke autopilot-smoke
 
-ci: fmt vet build test test-race bench-check telemetry-smoke
+ci: fmt vet build test test-race bench-check telemetry-smoke autopilot-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -75,6 +79,14 @@ bench-check:
 # fails; CI uploads telemetry.json as a build artifact.
 telemetry-smoke:
 	$(GO) run ./cmd/experiments -run e16 -quick -telemetry telemetry.json
+
+# E17 smoke: run the SLO-autopilot experiment (diurnal load, closed loop
+# from probed RPO to reshard/admission/placement) and write the decision
+# log. The experiment's own acceptance shape — static violates, autopilot
+# holds — is asserted inside the harness; CI uploads e17-decisions.log as a
+# build artifact so the control loop's audit trail ships with every run.
+autopilot-smoke:
+	$(GO) run ./cmd/experiments -run e17 -decisions e17-decisions.log
 
 # Record the bench numbers as JSON (one entry per harness, with -benchmem
 # allocation columns; minimum ns/op over -count 3, matching what

@@ -242,6 +242,26 @@ func BenchmarkE14_Elasticity(b *testing.B) {
 	}
 }
 
+// BenchmarkE17_Autopilot regenerates E17: the diurnal SLO experiment run
+// twice — statically provisioned (the violation baseline), then under the
+// closed-loop autopilot, which must hold every declared RPO target using
+// all three effectors (reshard, admission, placement) and hand the
+// resources back at night. The acceptance shape is asserted here too.
+func BenchmarkE17_Autopilot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E17Autopilot(int64(i+1), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.StaticViolates || !res.AutoHolds {
+			b.Fatalf("E17 shape broke: staticViolates=%v autoHolds=%v", res.StaticViolates, res.AutoHolds)
+		}
+		if res.ReshardUps == 0 || res.Derates == 0 || res.Placings == 0 {
+			b.Fatalf("an effector never fired: %+v", res)
+		}
+	}
+}
+
 // BenchmarkE15_Reshard regenerates E15: a write-heavy tenant's journal
 // resharded 1->4 LIVE (epoch-barrier migration under continuous load and
 // bystander OLTP traffic) over a four-link fabric. The acceptance shape is

@@ -1,5 +1,5 @@
 // Command experiments regenerates every table/figure of the reproduction
-// (E1-E16; DESIGN.md carries the experiment index). Select a subset with
+// (E1-E17; DESIGN.md carries the experiment index). Select a subset with
 // -run.
 package main
 
@@ -15,11 +15,12 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment IDs (e1,e2,...,e16) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment IDs (e1,e2,...,e17) or 'all'")
 	seed := flag.Int64("seed", 1, "base simulation seed")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	kernelStats := flag.Bool("kernelstats", false, "print kernel scheduler counters for every simulated environment")
 	telemetryOut := flag.String("telemetry", "", "write E16's telemetry export (Chrome trace-event JSON) to this path")
+	decisionsOut := flag.String("decisions", "", "write E17's autopilot decision log to this path")
 	flag.Parse()
 
 	experiments.CollectKernelStats(*kernelStats)
@@ -189,6 +190,24 @@ func main() {
 			}
 			fmt.Printf("telemetry export written to %s (%d bytes; open in Perfetto / chrome://tracing)\n\n",
 				*telemetryOut, len(data))
+		}
+	}
+	if sel("e17") {
+		res, err := experiments.E17Autopilot(*seed, 1)
+		if err != nil {
+			log.Fatalf("E17: %v", err)
+		}
+		fmt.Println(experiments.E17Table(res))
+		if !res.StaticViolates || !res.AutoHolds {
+			log.Fatalf("E17: acceptance shape broke: staticViolates=%v autoHolds=%v",
+				res.StaticViolates, res.AutoHolds)
+		}
+		if *decisionsOut != "" {
+			if err := os.WriteFile(*decisionsOut, []byte(res.DecisionLog), 0o644); err != nil {
+				log.Fatalf("E17: decision log: %v", err)
+			}
+			fmt.Printf("autopilot decision log written to %s (%d decisions)\n\n",
+				*decisionsOut, len(res.Decisions))
 		}
 	}
 	if sel("e9") {

@@ -1,0 +1,233 @@
+// The declarative tenant surface: ApplyTenant declares a tenant's entire
+// desired state in one call (create the spec or replace it wholesale), and
+// WaitTenantCondition blocks until the world reaches a named observable
+// condition. Together they subsume the imperative mutators that grew one
+// per PR (EnableBackup, DisableBackup, ReshardTenant, WaitReshard,
+// UpdateTenantSpec) — those remain as thin wrappers for existing callers,
+// but new code, and the autopilot above all, speaks spec in / condition
+// out. See DESIGN.md "SLO autopilot (E17)" for the migration note.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"time"
+
+	"repro/internal/operator"
+	"repro/internal/platform"
+	"repro/internal/replication"
+	"repro/internal/sim"
+)
+
+// ApplyTenant declares the tenant's desired state: the spec is created if
+// absent, otherwise replaced wholesale (version conflicts with the
+// controller's status writes retry; an identical spec writes nothing). The
+// controller chain then converges the world — pair with WaitTenantCondition
+// to block on the outcome. Partial mutations of an existing spec are what
+// UpdateTenantSpec is for.
+func (sys *System) ApplyTenant(p *sim.Proc, spec platform.TenantSpec) error {
+	ns := spec.Namespace
+	if ns == "" {
+		return fmt.Errorf("core: tenant spec needs a namespace")
+	}
+	// A policy reference must resolve against the registered classes at
+	// declaration time: a typo'd SLO class would otherwise silently fall
+	// back to unmanaged best-effort, which no operator means to declare.
+	if spec.SLOClass != "" {
+		if _, ok := sys.sloClasses[spec.SLOClass]; !ok {
+			return fmt.Errorf("core: tenant %s references unregistered SLO class %q", ns, spec.SLOClass)
+		}
+	}
+	for {
+		obj, err := sys.Main.API.Get(p, tenantKey(ns))
+		if errors.Is(err, platform.ErrNotFound) {
+			err = sys.Main.API.Create(p, &platform.Tenant{
+				Meta:   platform.Meta{Kind: platform.KindTenant, Name: ns},
+				Spec:   spec,
+				Status: platform.TenantStatus{Phase: platform.TenantPending, Message: "spec accepted"},
+			})
+			if errors.Is(err, platform.ErrExists) {
+				continue // lost a create race: retry as an update
+			}
+			return err
+		}
+		if err != nil {
+			return err
+		}
+		tn := obj.(*platform.Tenant)
+		if reflect.DeepEqual(tn.Spec, spec) {
+			return nil
+		}
+		tn.Spec = spec
+		err = sys.Main.API.Update(p, tn)
+		if errors.Is(err, platform.ErrConflict) {
+			continue
+		}
+		return err
+	}
+}
+
+// condKind enumerates the observable tenant conditions.
+type condKind int
+
+const (
+	condReady condKind = iota
+	condBackupReady
+	condResharded
+	condGone
+)
+
+// TenantCondition names an observable condition of a tenant for
+// WaitTenantCondition. Construct one with CondReady, CondBackupReady,
+// CondResharded, or CondGone.
+type TenantCondition struct {
+	kind   condKind
+	shards int
+}
+
+// CondReady is satisfied when the tenant's status reaches Ready (namespace,
+// bound claims, and — with Spec.Backup — running replication including the
+// initial copy). A Failed status ends the wait with its message.
+func CondReady() TenantCondition { return TenantCondition{kind: condReady} }
+
+// CondBackupReady is satisfied when the tenant's ReplicationGroup reports
+// Ready. Prefer it over CondReady after flipping Spec.Backup on an
+// already-Ready tenant: the tenant phase may hold Ready across the
+// reconcile, but the group's phase tracks the new replication.
+func CondBackupReady() TenantCondition { return TenantCondition{kind: condBackupReady} }
+
+// CondResharded is satisfied when the tenant's replication engine drains
+// exactly `shards` lanes with no open migration window. Structurally
+// impossible states — backup disabled, per-volume journals, a failed-over
+// or stopped engine, or the tenant deleted mid-wait — end the wait
+// immediately with ErrNotReshardable.
+func CondResharded(shards int) TenantCondition {
+	return TenantCondition{kind: condResharded, shards: shards}
+}
+
+// CondGone is satisfied when the tenant is fully decommissioned: spec
+// deleted, teardown converged, and zero residue on either array.
+func CondGone() TenantCondition { return TenantCondition{kind: condGone} }
+
+func (c TenantCondition) String() string {
+	switch c.kind {
+	case condReady:
+		return "Ready"
+	case condBackupReady:
+		return "BackupReady"
+	case condResharded:
+		return fmt.Sprintf("Resharded(%d)", c.shards)
+	case condGone:
+		return "Gone"
+	}
+	return "?"
+}
+
+// WaitTenantCondition blocks until the namespace reaches the condition, the
+// condition becomes permanently unreachable (a typed error, immediately),
+// or the timeout expires (ErrTimeout). Status-shaped conditions are
+// watch-driven — one wakeup per transition; engine-shaped conditions
+// (CondResharded, CondGone) poll with backoff because the states they
+// observe live outside the API server.
+func (sys *System) WaitTenantCondition(p *sim.Proc, namespace string, cond TenantCondition, timeout time.Duration) error {
+	switch cond.kind {
+	case condReady:
+		return sys.waitTenantReady(p, namespace, timeout)
+	case condBackupReady:
+		return sys.waitBackupGroupReady(p, namespace, timeout)
+	case condResharded:
+		return sys.waitResharded(p, namespace, cond.shards, timeout)
+	case condGone:
+		return sys.waitTenantGone(p, namespace, timeout)
+	}
+	return fmt.Errorf("core: unknown tenant condition %v", cond)
+}
+
+func (sys *System) waitTenantReady(p *sim.Proc, namespace string, timeout time.Duration) error {
+	err := sys.waitObject(p, tenantKey(namespace), timeout, func(obj platform.Object) (bool, error) {
+		switch tn := obj.(*platform.Tenant); tn.Status.Phase {
+		case platform.TenantReady:
+			return true, nil
+		case platform.TenantFailed:
+			return true, fmt.Errorf("core: tenant %s failed: %s", namespace, tn.Status.Message)
+		}
+		return false, nil
+	})
+	if errors.Is(err, ErrTimeout) {
+		return fmt.Errorf("%w: tenant %s not ready", ErrTimeout, namespace)
+	}
+	return err
+}
+
+func (sys *System) waitBackupGroupReady(p *sim.Proc, namespace string, timeout time.Duration) error {
+	key := platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: operator.GroupNameFor(namespace)}
+	err := sys.waitObject(p, key, timeout, func(obj platform.Object) (bool, error) {
+		rg := obj.(*platform.ReplicationGroup)
+		switch rg.Status.Phase {
+		case platform.GroupReady:
+			return true, nil
+		case platform.GroupFailed:
+			return true, fmt.Errorf("core: replication group failed: %s", rg.Status.Message)
+		}
+		return false, nil
+	})
+	if errors.Is(err, ErrTimeout) {
+		return fmt.Errorf("%w: replication group for %s not ready", ErrTimeout, namespace)
+	}
+	return err
+}
+
+// waitResharded polls until the tenant's engine runs exactly `shards` lanes
+// with the migration window closed. Every iteration re-screens for the
+// permanent can't-reshard states so a wait racing a disaster (or a
+// decommission — the tenant spec deleted under the wait) fails fast with
+// ErrNotReshardable instead of dressing a permanent condition up as a
+// timeout.
+func (sys *System) waitResharded(p *sim.Proc, namespace string, shards int, timeout time.Duration) error {
+	deadline := p.Now() + timeout
+	wait := pollInterval
+	for {
+		if err := sys.reshardable(p, namespace); err != nil {
+			if errors.Is(err, platform.ErrNotFound) {
+				return fmt.Errorf("%w: tenant %s deleted mid-reshard", ErrNotReshardable, namespace)
+			}
+			return err
+		}
+		if gs := sys.Groups(namespace); len(gs) == 1 {
+			g := gs[0]
+			if g.Lanes() == shards {
+				sg, sharded := g.(*replication.ShardedGroup)
+				if !sharded || !sg.Resharding() {
+					return nil
+				}
+			}
+		}
+		if p.Now() >= deadline {
+			return fmt.Errorf("%w: tenant %s not resharded to %d lanes", ErrTimeout, namespace, shards)
+		}
+		pollBackoff(p, &wait)
+	}
+}
+
+// waitTenantGone polls until teardown converged to zero residue.
+func (sys *System) waitTenantGone(p *sim.Proc, namespace string, timeout time.Duration) error {
+	deadline := p.Now() + timeout
+	wait := pollInterval
+	for {
+		_, err := sys.Main.API.Get(p, tenantKey(namespace))
+		gone := errors.Is(err, platform.ErrNotFound)
+		if err != nil && !gone {
+			return err
+		}
+		if gone && !sys.managedTenants[namespace] && len(sys.TenantResidue(namespace)) == 0 {
+			return nil
+		}
+		if p.Now() >= deadline {
+			return fmt.Errorf("%w: tenant %s not reclaimed: %s", ErrTimeout, namespace,
+				strings.Join(sys.TenantResidue(namespace), "; "))
+		}
+		pollBackoff(p, &wait)
+	}
+}

@@ -17,6 +17,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/csiplugin"
@@ -76,6 +77,16 @@ type Config struct {
 	// queue depths, controller latency) plus span tracing, exportable as
 	// Chrome trace-event JSON. Nil keeps telemetry disabled at zero cost.
 	Telemetry *telemetry.Config
+	// SLOClasses registers the deployment's service-level policy classes.
+	// A TenantSpec references one by name (Spec.SLOClass); the autopilot
+	// reads the class for the tenant's RPO target, shard bounds, and
+	// admission priority, and a tenant without an explicit QoSClass
+	// inherits the class's FabricClass at the fabric ingress.
+	SLOClasses []platform.SLOClass
+	// Placement, when set, decides which fabric member link each tenant
+	// drain lane lands on (lazily, at first path creation). Nil keeps the
+	// implicit default: any member, the dispatchers' choice.
+	Placement PlacementPolicy
 	// DB tunes the databases opened by DeployBusinessProcess.
 	DB db.Config
 	// VolumeBlocks is the size of each provisioned volume (default 2048).
@@ -148,6 +159,11 @@ type System struct {
 	tenantLaneClasses map[string][]string
 	decommissioned    int64
 
+	// SLO policy registry (Config.SLOClasses, defaults applied) and the
+	// active lane-placement policy (Config.Placement or SetPlacement).
+	sloClasses map[string]platform.SLOClass
+	placement  PlacementPolicy
+
 	// reverse holds the backup→main groups Failback started; they live
 	// outside the replication plugin's registry, so Stop tracks them here.
 	reverse []*replication.Group
@@ -178,6 +194,11 @@ func NewSystem(cfg Config) *System {
 		managedTenants:    make(map[string]bool),
 		tenantClass:       make(map[string]string),
 		tenantLaneClasses: make(map[string][]string),
+		sloClasses:        make(map[string]platform.SLOClass, len(cfg.SLOClasses)),
+		placement:         cfg.Placement,
+	}
+	for _, sc := range cfg.SLOClasses {
+		sys.sloClasses[sc.Name] = sc.WithDefaults()
 	}
 	if cfg.Telemetry != nil {
 		sys.Telemetry = telemetry.New(env, *cfg.Telemetry)
@@ -307,8 +328,12 @@ func (sys *System) openDB(p *sim.Proc, namespace, claim string) (*db.DB, error) 
 // the namespace's Tenant spec (creating an adopting spec when the namespace
 // was provisioned imperatively) and wait until the operator and the
 // replication plugin report the replication group Ready.
+//
+// Deprecated: EnableBackup is a thin wrapper kept for the imperative demo
+// surface. Declare Spec.Backup with ApplyTenant (or UpdateTenantSpec) and
+// wait with WaitTenantCondition(..., CondBackupReady(), ...).
 func (sys *System) EnableBackup(p *sim.Proc, namespace string) error {
-	err := sys.setTenantBackup(p, namespace, true)
+	err := sys.UpdateTenantSpec(p, namespace, func(s *platform.TenantSpec) { s.Backup = true })
 	if errors.Is(err, platform.ErrNotFound) {
 		// Adopt an imperatively-provisioned namespace: the namespace must
 		// already exist (a typo'd name fails here, not after a timeout), and
@@ -317,10 +342,7 @@ func (sys *System) EnableBackup(p *sim.Proc, namespace string) error {
 		if _, err := sys.Main.API.Get(p, platform.ObjectKey{Kind: platform.KindNamespace, Name: namespace}); err != nil {
 			return err
 		}
-		err = sys.Main.API.Create(p, &platform.Tenant{
-			Meta: platform.Meta{Kind: platform.KindTenant, Name: namespace},
-			Spec: platform.TenantSpec{Namespace: namespace, Backup: true},
-		})
+		err = sys.ApplyTenant(p, platform.TenantSpec{Namespace: namespace, Backup: true})
 	}
 	if err != nil {
 		return err
@@ -328,29 +350,7 @@ func (sys *System) EnableBackup(p *sim.Proc, namespace string) error {
 	// Wait on the replication group itself rather than the tenant phase: a
 	// tenant that was already Ready without backup holds that phase until
 	// the controller reconciles the spec change.
-	return sys.WaitBackupReady(p, namespace, sys.provisionTimeout())
-}
-
-// setTenantBackup flips Spec.Backup on the Tenant object, retrying version
-// conflicts (the tenant controller updates the same object's status
-// concurrently). Returns ErrNotFound when no Tenant spec exists.
-func (sys *System) setTenantBackup(p *sim.Proc, namespace string, backup bool) error {
-	for {
-		obj, err := sys.Main.API.Get(p, tenantKey(namespace))
-		if err != nil {
-			return err
-		}
-		tn := obj.(*platform.Tenant)
-		if tn.Spec.Backup == backup {
-			return nil
-		}
-		tn.Spec.Backup = backup
-		err = sys.Main.API.Update(p, tn)
-		if errors.Is(err, platform.ErrConflict) {
-			continue
-		}
-		return err
-	}
+	return sys.WaitTenantCondition(p, namespace, CondBackupReady(), sys.provisionTimeout())
 }
 
 // pollInterval is the initial status-poll period of the Wait* helpers and
@@ -371,28 +371,10 @@ func pollBackoff(p *sim.Proc, d *time.Duration) {
 	}
 }
 
-// WaitBackupReady blocks until the namespace's ReplicationGroup is Ready.
-// It is event-driven: a keyed watch delivers each status transition, so the
-// wait costs one wakeup per transition instead of a poll loop — the
-// difference between O(transitions) and O(wait/poll) scheduler events when
-// hundreds of tenants provision concurrently.
+// WaitBackupReady blocks until the namespace's ReplicationGroup is Ready —
+// shorthand for WaitTenantCondition with CondBackupReady.
 func (sys *System) WaitBackupReady(p *sim.Proc, namespace string, timeout time.Duration) error {
-	key := platform.ObjectKey{Kind: platform.KindReplicationGroup, Name: operator.GroupNameFor(namespace)}
-	check := func(obj platform.Object) (bool, error) {
-		rg := obj.(*platform.ReplicationGroup)
-		switch rg.Status.Phase {
-		case platform.GroupReady:
-			return true, nil
-		case platform.GroupFailed:
-			return true, fmt.Errorf("core: replication group failed: %s", rg.Status.Message)
-		}
-		return false, nil
-	}
-	err := sys.waitObject(p, key, timeout, check)
-	if errors.Is(err, ErrTimeout) {
-		return fmt.Errorf("%w: replication group for %s not ready", ErrTimeout, namespace)
-	}
-	return err
+	return sys.WaitTenantCondition(p, namespace, CondBackupReady(), timeout)
 }
 
 // waitObject blocks until check reports done on the keyed object's state (a
@@ -433,8 +415,11 @@ func (sys *System) waitObject(p *sim.Proc, key platform.ObjectKey, timeout time.
 // DisableBackup clears Backup on the tenant spec (the controller removes
 // the tag and the operator tears the replication down). Namespaces tagged
 // imperatively — no Tenant spec — are untagged directly.
+//
+// Deprecated: thin wrapper; declare Spec.Backup=false with ApplyTenant or
+// UpdateTenantSpec.
 func (sys *System) DisableBackup(p *sim.Proc, namespace string) error {
-	err := sys.setTenantBackup(p, namespace, false)
+	err := sys.UpdateTenantSpec(p, namespace, func(s *platform.TenantSpec) { s.Backup = false })
 	if !errors.Is(err, platform.ErrNotFound) {
 		return err
 	}
@@ -470,6 +455,55 @@ func (sys *System) laneClassFor(namespace string, lane int) string {
 	return sys.classFor(namespace)
 }
 
+// PlacementPolicy decides which fabric member link a tenant's forward
+// drain lane lands on. It is consulted lazily, when the lane's path is
+// first created (a joiner's first drain, a reshard's added lanes): return
+// a member-link index to pin the lane there, or a negative value to keep
+// the implicit default (any member, the dispatchers' choice). The arrays
+// are degenerate in the two-site system — one main array holds every
+// tenant — so placement today chooses fabric links; N-site array placement
+// extends this interface.
+//
+// Implementations must be deterministic functions of simulation state:
+// placement runs inside reconcile steps and is part of the reproducible
+// schedule.
+type PlacementPolicy interface {
+	PlaceLane(namespace string, lane int, f *fabric.Fabric) int
+}
+
+// SetPlacement installs (or, with nil, removes) the lane-placement policy.
+// Only paths created after the call are affected; existing lanes keep
+// their binding. The autopilot wires its policy through this hook.
+func (sys *System) SetPlacement(pol PlacementPolicy) { sys.placement = pol }
+
+// SLOClassFor returns the registered SLO class by name.
+func (sys *System) SLOClassFor(name string) (platform.SLOClass, bool) {
+	sc, ok := sys.sloClasses[name]
+	return sc, ok
+}
+
+// SLOClasses returns every registered SLO class, sorted by name so callers
+// (the autopilot's admission sweep above all) iterate deterministically.
+func (sys *System) SLOClasses() []platform.SLOClass {
+	out := make([]platform.SLOClass, 0, len(sys.sloClasses))
+	for _, sc := range sys.sloClasses {
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// newForwardPath creates one forward fabric path, consulting the placement
+// policy for a member-link pin.
+func (sys *System) newForwardPath(class, owner, namespace string, lane int) *fabric.TenantPath {
+	if sys.placement != nil {
+		if li := sys.placement.PlaceLane(namespace, lane, sys.Fabric.Forward); li >= 0 {
+			return sys.Fabric.Forward.PathOn(class, owner, li)
+		}
+	}
+	return sys.Fabric.Forward.Path(class, owner)
+}
+
 // PathFor returns the namespace's forward (main→backup) fabric path,
 // creating it on first use. The replication plugin drains each namespace's
 // journal through this path, so per-tenant bytes, queueing delay, and
@@ -478,7 +512,7 @@ func (sys *System) PathFor(namespace string) *fabric.TenantPath {
 	if tp, ok := sys.paths[namespace]; ok {
 		return tp
 	}
-	tp := sys.Fabric.Forward.Path(sys.classFor(namespace), "adc:"+namespace)
+	tp := sys.newForwardPath(sys.classFor(namespace), "adc:"+namespace, namespace, 0)
 	sys.paths[namespace] = tp
 	return tp
 }
@@ -503,7 +537,8 @@ func (sys *System) LanePathFor(namespace string, lane int) *fabric.TenantPath {
 		ps = append(ps, nil)
 	}
 	if ps[lane] == nil {
-		ps[lane] = sys.Fabric.Forward.Path(sys.laneClassFor(namespace, lane), fmt.Sprintf("adc:%s:s%d", namespace, lane))
+		ps[lane] = sys.newForwardPath(sys.laneClassFor(namespace, lane),
+			fmt.Sprintf("adc:%s:s%d", namespace, lane), namespace, lane)
 	}
 	sys.lanePaths[namespace] = ps
 	return ps[lane]

@@ -29,7 +29,6 @@ import (
 	"repro/internal/csiplugin"
 	"repro/internal/operator"
 	"repro/internal/platform"
-	"repro/internal/replication"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -104,7 +103,14 @@ func (sys *System) reconcileTenant(p *sim.Proc, key platform.ObjectKey) error {
 	sys.managedTenants[ns] = true
 	// Register the tenant's fabric QoS before any drain path exists for the
 	// namespace, so the replication plugin's first PathFor lands in class.
-	sys.setTenantClasses(ns, tn.Spec.QoSClass, tn.Spec.LaneClasses)
+	// An SLO class supplies the fabric class when the spec pins none.
+	qos := tn.Spec.QoSClass
+	if qos == "" && tn.Spec.SLOClass != "" {
+		if sc, ok := sys.sloClasses[tn.Spec.SLOClass]; ok {
+			qos = sc.FabricClass
+		}
+	}
+	sys.setTenantClasses(ns, qos, tn.Spec.LaneClasses)
 
 	// Namespace.
 	nsKey := platform.ObjectKey{Kind: platform.KindNamespace, Name: ns}
@@ -472,8 +478,10 @@ func (sys *System) ProvisionTenant(p *sim.Proc, spec platform.TenantSpec) (*Busi
 // version conflicts (the tenant controller updates the same object's status
 // concurrently). A mutation that leaves the spec unchanged performs no API
 // write at all — spec updates are only as loud as the drift they declare.
-// The controller chain then reconciles the world to the new spec; use the
-// matching wait helper (WaitTenantReady, WaitReshard) to block on it.
+// The controller chain then reconciles the world to the new spec; block on
+// the outcome with WaitTenantCondition. It is the read-modify-write
+// primitive under ApplyTenant — reach for it when the caller must not
+// clobber spec fields it does not own.
 func (sys *System) UpdateTenantSpec(p *sim.Proc, namespace string, mutate func(*platform.TenantSpec)) error {
 	for {
 		obj, err := sys.Main.API.Get(p, tenantKey(namespace))
@@ -543,6 +551,9 @@ func (sys *System) reshardable(p *sim.Proc, namespace string) error {
 // closed (pre-barrier records committed, retired shards reclaimed).
 // Structurally impossible requests (per-volume replication, a failed-over
 // group) refuse immediately with ErrNotReshardable instead of timing out.
+//
+// Deprecated: thin wrapper — declare Spec.JournalShards with ApplyTenant or
+// UpdateTenantSpec and wait with CondResharded.
 func (sys *System) ReshardTenant(p *sim.Proc, namespace string, shards int) error {
 	if shards < 1 {
 		return fmt.Errorf("core: reshard %s to %d shards", namespace, shards)
@@ -555,54 +566,22 @@ func (sys *System) ReshardTenant(p *sim.Proc, namespace string, shards int) erro
 	}); err != nil {
 		return err
 	}
-	return sys.WaitReshard(p, namespace, shards, sys.provisionTimeout())
+	return sys.WaitTenantCondition(p, namespace, CondResharded(shards), sys.provisionTimeout())
 }
 
 // WaitReshard blocks until the namespace's replication engine runs exactly
-// `shards` drain lanes with no open migration window. It fails fast with
-// ErrNotReshardable when the engine enters a state that can never converge
-// (failed over or stopped mid-wait — e.g. a reshard racing a disaster),
-// and with ErrTimeout otherwise.
+// `shards` drain lanes with no open migration window.
+//
+// Deprecated: thin wrapper over WaitTenantCondition with CondResharded.
 func (sys *System) WaitReshard(p *sim.Proc, namespace string, shards int, timeout time.Duration) error {
-	deadline := p.Now() + timeout
-	wait := pollInterval
-	for {
-		if err := sys.reshardable(p, namespace); err != nil {
-			return err
-		}
-		if gs := sys.Groups(namespace); len(gs) == 1 {
-			g := gs[0]
-			if g.Lanes() == shards {
-				sg, sharded := g.(*replication.ShardedGroup)
-				if !sharded || !sg.Resharding() {
-					return nil
-				}
-			}
-		}
-		if p.Now() >= deadline {
-			return fmt.Errorf("%w: tenant %s not resharded to %d lanes", ErrTimeout, namespace, shards)
-		}
-		pollBackoff(p, &wait)
-	}
+	return sys.WaitTenantCondition(p, namespace, CondResharded(shards), timeout)
 }
 
 // WaitTenantReady blocks until the tenant's status reaches Ready (nil), or
-// Failed / the timeout (error). Event-driven via a keyed watch — one wakeup
-// per status transition, no polling (see WaitBackupReady).
+// Failed / the timeout (error) — shorthand for WaitTenantCondition with
+// CondReady.
 func (sys *System) WaitTenantReady(p *sim.Proc, namespace string, timeout time.Duration) error {
-	err := sys.waitObject(p, tenantKey(namespace), timeout, func(obj platform.Object) (bool, error) {
-		switch tn := obj.(*platform.Tenant); tn.Status.Phase {
-		case platform.TenantReady:
-			return true, nil
-		case platform.TenantFailed:
-			return true, fmt.Errorf("core: tenant %s failed: %s", namespace, tn.Status.Message)
-		}
-		return false, nil
-	})
-	if errors.Is(err, ErrTimeout) {
-		return fmt.Errorf("%w: tenant %s not ready", ErrTimeout, namespace)
-	}
-	return err
+	return sys.WaitTenantCondition(p, namespace, CondReady(), timeout)
 }
 
 // DecommissionTenant drains the tenant's replication, deletes its spec, and
@@ -625,21 +604,5 @@ func (sys *System) DecommissionTenant(p *sim.Proc, namespace string) error {
 	} else if !errors.Is(err, platform.ErrNotFound) {
 		return err
 	}
-	deadline := p.Now() + sys.provisionTimeout()
-	wait := pollInterval
-	for {
-		_, err := sys.Main.API.Get(p, tenantKey(namespace))
-		gone := errors.Is(err, platform.ErrNotFound)
-		if err != nil && !gone {
-			return err
-		}
-		if gone && !sys.managedTenants[namespace] && len(sys.TenantResidue(namespace)) == 0 {
-			return nil
-		}
-		if p.Now() >= deadline {
-			return fmt.Errorf("%w: tenant %s not reclaimed: %s", ErrTimeout, namespace,
-				strings.Join(sys.TenantResidue(namespace), "; "))
-		}
-		pollBackoff(p, &wait)
-	}
+	return sys.WaitTenantCondition(p, namespace, CondGone(), sys.provisionTimeout())
 }

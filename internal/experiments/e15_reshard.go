@@ -222,7 +222,13 @@ func e15Run(seed int64, writes int, failover bool, res *ReshardResult) error {
 			preBytes := e15AppliedBytes(sys, firstEngine)
 			declaredAt := p.Now()
 			res.PreMBps = mbps(preBytes, declaredAt-startWrites)
-			if err := sys.ReshardTenant(p, e15Namespace, e15ToShards); err != nil {
+			if err := sys.UpdateTenantSpec(p, e15Namespace, func(s *platform.TenantSpec) {
+				s.JournalShards = e15ToShards
+			}); err != nil {
+				fail(fmt.Errorf("reshard: %w", err))
+				return
+			}
+			if err := sys.WaitTenantCondition(p, e15Namespace, core.CondResharded(e15ToShards), time.Minute); err != nil {
 				fail(fmt.Errorf("reshard: %w", err))
 				return
 			}
@@ -254,7 +260,13 @@ func e15Run(seed int64, writes int, failover bool, res *ReshardResult) error {
 			// Unchanged reconcile: re-declare the same count and touch the
 			// CR so every controller runs once more — zero migration.
 			reshards, moved := sj.Reshards(), sj.MovedRecords()
-			if err := sys.ReshardTenant(p, e15Namespace, e15ToShards); err != nil {
+			if err := sys.UpdateTenantSpec(p, e15Namespace, func(s *platform.TenantSpec) {
+				s.JournalShards = e15ToShards
+			}); err != nil {
+				fail(fmt.Errorf("no-op reshard: %w", err))
+				return
+			}
+			if err := sys.WaitTenantCondition(p, e15Namespace, core.CondResharded(e15ToShards), time.Minute); err != nil {
 				fail(fmt.Errorf("no-op reshard: %w", err))
 				return
 			}

@@ -95,6 +95,7 @@ type request struct {
 	queueDelay time.Duration // set at dispatch
 	done       *sim.Event
 	path       *TenantPath
+	pin        int // member-link index this transfer must ride (-1 = any)
 }
 
 // class is the runtime state of one QoS class.
@@ -122,6 +123,19 @@ func (c *class) push(r *request) {
 	if d := c.depth(); d > c.maxDepth {
 		c.maxDepth = d
 	}
+}
+
+// popAt removes and returns the request at backing-array index idx,
+// preserving FIFO order of the remainder. idx == head reduces to pop.
+func (c *class) popAt(idx int) *request {
+	if idx == c.head {
+		return c.pop()
+	}
+	r := c.queue[idx]
+	copy(c.queue[idx:], c.queue[idx+1:])
+	c.queue[len(c.queue)-1] = nil
+	c.queue = c.queue[:len(c.queue)-1]
+	return r
 }
 
 func (c *class) pop() *request {
@@ -304,12 +318,67 @@ func (f *Fabric) Path(classname, owner string) *TenantPath {
 	if !ok {
 		c = f.classes[0]
 	}
-	return &TenantPath{fabric: f, class: c, owner: owner}
+	return &TenantPath{fabric: f, class: c, owner: owner, pin: -1}
+}
+
+// PathOn returns a tenant path pinned to member link `link`: its transfers
+// are admitted under the class like any other, but only that member's
+// dispatcher carries them — the placement-policy hook. The pin is advisory
+// under faults: while the pinned member is partitioned, any member may
+// carry the path's transfers, preserving link failover. An out-of-range
+// link falls back to an unpinned path.
+func (f *Fabric) PathOn(classname, owner string, link int) *TenantPath {
+	tp := f.Path(classname, owner)
+	if link >= 0 && link < len(f.links) {
+		tp.pin = link
+	}
+	return tp
+}
+
+// SetClassRate re-declares the named class's token-bucket rate cap in bytes
+// per second at runtime — the autopilot's admission effector. 0 removes the
+// cap (pure weighted sharing). Enabling a cap on a previously uncapped
+// class grants one full burst; tightening clamps the balance to the new
+// burst so the new rate binds from now. Returns false for an unknown class.
+func (f *Fabric) SetClassRate(name string, bps float64) bool {
+	c, ok := f.byName[name]
+	if !ok {
+		return false
+	}
+	c.refill(f.env.Now())
+	c.cfg.RateBps = bps
+	if bps > 0 {
+		if c.cfg.BurstBytes <= 0 {
+			c.cfg.BurstBytes = 256 << 10
+		}
+		if burst := float64(c.cfg.BurstBytes); c.tokens > burst {
+			c.tokens = burst
+		}
+		c.lastRefill = f.env.Now()
+	}
+	// A raised (or removed) cap may unblock token-gated dispatchers parked
+	// on a stale wait: wake them to re-pick.
+	if f.scheduled && f.queued > 0 && !f.work.Triggered() {
+		f.work.Trigger()
+	}
+	return true
+}
+
+// ClassRate returns the named class's current rate cap (0 = uncapped).
+func (f *Fabric) ClassRate(name string) float64 {
+	if c, ok := f.byName[name]; ok {
+		return c.cfg.RateBps
+	}
+	return 0
 }
 
 // Links exposes the member links (for partition/heal chaos and per-link
 // accounting; member order matches Config.Links).
 func (f *Fabric) Links() []*netlink.Link { return f.links }
+
+// Now is the fabric's virtual clock — placement policies use it to age
+// their own recent-placement memory.
+func (f *Fabric) Now() time.Duration { return f.env.Now() }
 
 // Classes lists the class names in scheduling order.
 func (f *Fabric) Classes() []string {
@@ -400,11 +469,29 @@ func (f *Fabric) advance() {
 	f.credited = false
 }
 
+// eligibleIndex returns the backing-array index of the first queued
+// transfer that member li may carry: unpinned, pinned to li, or pinned to
+// a partitioned member (whose traffic any healthy member covers). It
+// scans past the head so one transfer pinned to a busy member cannot
+// head-of-line block the rest of the class — including other tenants —
+// on every other member. Returns -1 when nothing qualifies.
+func (f *Fabric) eligibleIndex(c *class, li int) int {
+	for i := c.head; i < len(c.queue); i++ {
+		pin := c.queue[i].pin
+		if pin < 0 || pin == li || f.links[pin].Partitioned() {
+			return i
+		}
+	}
+	return -1
+}
+
 // pick runs one deficit-weighted round-robin selection over the classes
 // eligible for member link li. The cursor class is credited one quantum x
 // weight on arrival and keeps the service slot until its deficit or queue
 // runs out, so a backlogged class is served in weight-proportional byte
-// bursts. pick returns the chosen request, or (nil, wait>0) when every
+// bursts. Within a class, the oldest transfer this member may carry is
+// chosen (pins are honored without blocking unpinned traffic behind
+// them). pick returns the chosen request, or (nil, wait>0) when every
 // queued class is token-blocked for at least wait, or (nil, 0) when
 // nothing is queued that this member may carry.
 func (f *Fabric) pick(li int, now time.Duration) (*request, time.Duration) {
@@ -421,8 +508,17 @@ func (f *Fabric) pick(li int, now time.Duration) (*request, time.Duration) {
 			barren++
 			continue
 		}
+		idx := f.eligibleIndex(c, li)
+		if idx < 0 {
+			// Every queued transfer in this class is placement-pinned to
+			// some other healthy member: leave them for those dispatchers.
+			f.advance()
+			barren++
+			continue
+		}
+		next := c.queue[idx]
 		c.refill(now)
-		if ok, wait := c.gate(c.peek().size); !ok {
+		if ok, wait := c.gate(next.size); !ok {
 			if minWait < 0 || wait < minWait {
 				minWait = wait
 			}
@@ -434,7 +530,7 @@ func (f *Fabric) pick(li int, now time.Duration) (*request, time.Duration) {
 			c.deficit += f.cfg.QuantumBytes * c.cfg.Weight
 			f.credited = true
 		}
-		if c.deficit < c.peek().size {
+		if c.deficit < next.size {
 			// Not enough credit yet: the deficit carries over and grows on
 			// the next visit, so oversized transfers still go through.
 			// Accumulating credit is progress — reset the barren count.
@@ -442,7 +538,7 @@ func (f *Fabric) pick(li int, now time.Duration) (*request, time.Duration) {
 			f.advance()
 			continue
 		}
-		req := c.pop()
+		req := c.popAt(idx)
 		c.deficit -= req.size
 		if c.cfg.RateBps > 0 {
 			c.tokens -= float64(req.size)
@@ -471,6 +567,7 @@ type TenantPath struct {
 	fabric *Fabric
 	class  *class
 	owner  string
+	pin    int // member link this path's transfers ride (-1 = any)
 
 	bytes         int64
 	transfers     int64
@@ -500,7 +597,7 @@ func (tp *TenantPath) Transfer(p *sim.Proc, size int) time.Duration {
 			p.Sleep(f.cfg.RetryBackoff)
 			continue
 		}
-		req := &request{size: size, enq: p.Now(), done: f.env.NewEvent(), path: tp}
+		req := &request{size: size, enq: p.Now(), done: f.env.NewEvent(), path: tp, pin: tp.pin}
 		tp.class.push(req)
 		f.queued++
 		if !f.work.Triggered() {
@@ -525,6 +622,10 @@ func (tp *TenantPath) record(size int, took, queueDelay time.Duration) {
 
 // Owner returns the label the path was created with.
 func (tp *TenantPath) Owner() string { return tp.owner }
+
+// PinnedLink returns the member-link index the path is placement-pinned to
+// (-1 when any member may carry it).
+func (tp *TenantPath) PinnedLink() int { return tp.pin }
 
 // Class returns the QoS class the path is bound to.
 func (tp *TenantPath) Class() string { return tp.class.cfg.Name }

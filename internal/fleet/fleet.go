@@ -20,7 +20,6 @@ package fleet
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/analytics"
@@ -75,9 +74,12 @@ type Config struct {
 	// runs while the tenant — and the rest of the fleet — keeps serving
 	// OLTP load. Targets that have already left or failed over are skipped.
 	Reshards []ReshardSpec
-	// RPOSample, when > 0, samples every provisioned tenant's RPO on this
-	// period and records the worst observation on Tenant.MaxRPO — the
-	// victim-disturbance metric the elasticity experiment compares.
+	// RPOSample, when > 0, records each tenant's worst observed RPO over
+	// its active span (Ready until failover/leave/finish) on Tenant.MaxRPO
+	// — the victim-disturbance metric the elasticity experiment compares.
+	// The observations come from the telemetry plane's probed "rpo" series:
+	// if System.Telemetry is unset, it is enabled with this sample period
+	// (an explicit System.Telemetry wins, and its period governs).
 	RPOSample time.Duration
 	// Workers, when > 1, runs the simulation on the parallel scheduler:
 	// same-instant steps of distinct tenant domains execute concurrently on
@@ -184,7 +186,7 @@ type Tenant struct {
 	Left            bool          // leave tenants: decommission completed
 	LeftAt          time.Duration // leave tenants: when reclamation finished
 	ReclaimOK       bool          // leave tenants: zero residue after leaving
-	MaxRPO          time.Duration // worst sampled RPO (RPOSample > 0)
+	MaxRPO          time.Duration // worst probed RPO over the active span (RPOSample > 0)
 	Resharded       bool          // a scheduled mid-run reshard settled
 	ReshardTo       int           // lane count the reshard declared
 	ReshardAt       time.Duration // when the new shard count was declared
@@ -192,9 +194,9 @@ type Tenant struct {
 	ReshardErr      error         // reshard skipped/failed (tenant gone, failed over)
 	Err             error
 
-	// active marks the span the RPO sampler observes: from Ready until the
-	// tenant fails over, leaves, or finishes.
-	active bool
+	// activeFrom/activeTo bound the span MaxRPO is read over: Ready until
+	// the tenant fails over, leaves, or finishes (0 = never reached).
+	activeFrom, activeTo time.Duration
 	// fabricCaptured marks that captureFabric already ran (leavers capture
 	// before their paths are reclaimed; Run must not overwrite that).
 	fabricCaptured bool
@@ -211,10 +213,6 @@ type Fleet struct {
 	Sys     *core.System
 	Cfg     Config
 	Tenants []*Tenant
-
-	// running counts tenant processes still alive (the RPO sampler's gate);
-	// atomic because tenant exits may race with the sampler under Workers.
-	running atomic.Int64
 
 	// Start-barrier state (Config.StartBarrier): gate fires when gateLeft
 	// initial-roster tenants have arrived. Touched only on domain 0 (pre-OLTP
@@ -240,6 +238,11 @@ func New(cfg Config) *Fleet {
 	// controller resource crossing domains). Set for every worker count so
 	// sequential and parallel runs simulate the identical world.
 	cfg.System.Storage.IsolatedVolumes = true
+	// MaxRPO reads the telemetry plane's probed "rpo" series — the fleet
+	// has no private sampling loop. RPOSample therefore implies telemetry.
+	if cfg.RPOSample > 0 && cfg.System.Telemetry == nil {
+		cfg.System.Telemetry = &telemetry.Config{SamplePeriod: cfg.RPOSample}
+	}
 	f := &Fleet{Sys: core.NewSystem(cfg.System), Cfg: cfg}
 	leaves := make(map[int]LeaveSpec, len(cfg.Leaves))
 	for _, l := range cfg.Leaves {
@@ -323,7 +326,6 @@ func (f *Fleet) gateArrive(p *sim.Proc, t *Tenant, wait bool) {
 // returning the first tenant error (each tenant's own error is also kept on
 // the Tenant). It owns the environment: callers must not call Env.Run.
 func (f *Fleet) Run() error {
-	f.running.Store(int64(len(f.Tenants)))
 	if f.Cfg.StartBarrier {
 		f.gate = f.Sys.Env.NewEvent()
 		for _, t := range f.Tenants {
@@ -335,7 +337,11 @@ func (f *Fleet) Run() error {
 	for _, t := range f.Tenants {
 		t := t
 		f.Sys.Env.Process("tenant:"+t.Namespace, func(p *sim.Proc) {
-			defer func() { t.active = false; f.running.Add(-1) }()
+			defer func() {
+				if t.activeFrom > 0 && t.activeTo == 0 {
+					t.activeTo = p.Now()
+				}
+			}()
 			t.Err = f.runTenant(p, t)
 		})
 	}
@@ -356,27 +362,18 @@ func (f *Fleet) Run() error {
 				return
 			}
 			start := p.Now()
-			if err := f.Sys.ReshardTenant(p, t.Namespace, rs.Shards); err != nil {
+			err := f.Sys.UpdateTenantSpec(p, t.Namespace, func(s *platform.TenantSpec) {
+				s.JournalShards = rs.Shards
+			})
+			if err == nil {
+				err = f.Sys.WaitTenantCondition(p, t.Namespace, core.CondResharded(rs.Shards), f.Cfg.ReadyTimeout)
+			}
+			if err != nil {
 				t.ReshardErr = err
 				return
 			}
 			t.Resharded, t.ReshardTo = true, rs.Shards
 			t.ReshardAt, t.ReshardTime = start, p.Now()-start
-		})
-	}
-	if f.Cfg.RPOSample > 0 {
-		f.Sys.Env.Process("rpo-sampler", func(p *sim.Proc) {
-			for f.running.Load() > 0 {
-				p.Sleep(f.Cfg.RPOSample)
-				for _, t := range f.Tenants {
-					if !t.active {
-						continue
-					}
-					if r := f.Sys.RPO(t.Namespace); r > t.MaxRPO {
-						t.MaxRPO = r
-					}
-				}
-			}
 		})
 	}
 	if f.Cfg.Workers > 1 {
@@ -392,6 +389,9 @@ func (f *Fleet) Run() error {
 		f.Sys.Stop()
 		f.Sys.Env.Run(0)
 	}
+	if f.Cfg.RPOSample > 0 {
+		f.collectMaxRPO()
+	}
 	for _, t := range f.Tenants {
 		if !t.fabricCaptured {
 			f.captureFabric(t)
@@ -404,6 +404,34 @@ func (f *Fleet) Run() error {
 		}
 	}
 	return nil
+}
+
+// collectMaxRPO reads each tenant's worst probed RPO over its active span
+// from the telemetry plane — the one shared observation path; the fleet
+// keeps no sampling loop of its own. The probe records RPO as float64
+// nanoseconds and self-gates on engine liveness, so failed-over and
+// decommissioned tenants simply stop producing samples.
+func (f *Fleet) collectMaxRPO() {
+	for _, t := range f.Tenants {
+		if t.activeFrom == 0 {
+			continue // never reached Ready: nothing was observed
+		}
+		s := f.Sys.Telemetry.Series("rpo", telemetry.L("tenant", t.Namespace))
+		if s == nil {
+			continue
+		}
+		to := t.activeTo
+		if to == 0 {
+			to = f.Sys.Env.Now() // horizon-truncated run: span still open
+		}
+		worst := 0.0
+		for _, pt := range s.Window(t.activeFrom, to) {
+			if pt.Value > worst {
+				worst = pt.Value
+			}
+		}
+		t.MaxRPO = time.Duration(worst)
+	}
 }
 
 // captureFabric records the tenant's view of the shared inter-site fabric.
@@ -471,7 +499,7 @@ func (f *Fleet) runTenant(p *sim.Proc, t *Tenant) error {
 	if t.Join {
 		t.JoinedAt = p.Now()
 	}
-	t.active = true
+	t.activeFrom = p.Now()
 	wcfg := f.Cfg.Workload
 	wcfg.Seed = f.Cfg.System.Seed + int64(t.Index)*7919
 	bp.Shop = workload.NewShop(f.Sys.Env, bp.Sales, bp.Stock, wcfg)
@@ -517,7 +545,7 @@ func (f *Fleet) runTenant(p *sim.Proc, t *Tenant) error {
 		// Mid-run disaster: NO catch-up — whatever is in flight is lost, and
 		// the recovered image must still be a consistent cut.
 		t.FailoverAt = p.Now()
-		t.active = false
+		t.activeTo = p.Now()
 		fo, err := f.Sys.Failover(p, t.Namespace)
 		if err != nil {
 			return fmt.Errorf("failover: %w", err)
@@ -553,7 +581,7 @@ func (f *Fleet) runTenant(p *sim.Proc, t *Tenant) error {
 		if t.LeaveAfter > p.Now() {
 			p.Sleep(t.LeaveAfter - p.Now())
 		}
-		t.active = false
+		t.activeTo = p.Now()
 		// Drain before capturing so the leave's own final backlog bytes are
 		// counted (decommission's drain is then a no-op), then capture
 		// before teardown reclaims the paths.

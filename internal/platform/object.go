@@ -240,6 +240,51 @@ func (g *ReplicationGroup) DeepCopy() Object {
 	return &cp
 }
 
+// SLOClass is a named service-level policy a TenantSpec references: the
+// windowed-RPO target the autopilot holds the tenant inside, the shard
+// bounds it may move the tenant between, and the class's admission
+// priority at the inter-site fabric. SLO classes are deployment policy,
+// not per-tenant state — they are registered once in core.Config and the
+// autopilot reads tenants' classes by name.
+type SLOClass struct {
+	// Name identifies the class ("gold", "bulk", ...).
+	Name string
+	// RPOTarget is the windowed-RPO ceiling the autopilot defends for
+	// tenants of this class. 0 means no RPO SLO: the autopilot never
+	// reshards the tenant and never derates others on its behalf.
+	RPOTarget time.Duration
+	// MinShards/MaxShards bound the journal shard counts the autopilot may
+	// declare for tenants of this class (0 defaults: min 1, max 4).
+	MinShards int
+	MaxShards int
+	// AdmissionPriority orders classes at the fabric ingress under SLO
+	// pressure: when a higher-priority class's RPO approaches its target,
+	// the autopilot derates the ingress rate of lower-priority classes
+	// first (and restores them when the protected class recovers).
+	AdmissionPriority int
+	// FabricClass names the fabric QoS class this SLO class's drain traffic
+	// rides ("" = Name). Tenants referencing the SLO class inherit it as
+	// their QoSClass unless the spec pins one explicitly.
+	FabricClass string
+}
+
+// WithDefaults fills the zero-value shard bounds.
+func (c SLOClass) WithDefaults() SLOClass {
+	if c.MinShards <= 0 {
+		c.MinShards = 1
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = 4
+	}
+	if c.MaxShards < c.MinShards {
+		c.MaxShards = c.MinShards
+	}
+	if c.FabricClass == "" {
+		c.FabricClass = c.Name
+	}
+	return c
+}
+
 // TenantPhase is a Tenant lifecycle phase.
 type TenantPhase string
 
@@ -292,6 +337,12 @@ type TenantSpec struct {
 	// volumes on the new shard set, and reconfigures drain lanes while
 	// replication keeps running (core.System.ReshardTenant wraps this).
 	JournalShards int
+	// SLOClass names the tenant's service-level policy (an SLOClass
+	// registered in the deployment's config). The autopilot reads it to
+	// decide the tenant's RPO target, shard bounds, and admission priority;
+	// when QoSClass is empty the SLO class's FabricClass also becomes the
+	// tenant's fabric class. "" opts the tenant out of SLO management.
+	SLOClass string
 	// Profile names the tenant's workload shape. "" or "oltp" is the
 	// business process: ProvisionTenant opens the sales/stock databases and
 	// attaches a default shop workload. "oltp-external" opens the databases
