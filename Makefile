@@ -18,6 +18,10 @@
 #         end-to-end and writes its decision log (e17-decisions.log) —
 #         the byte-exact audit trail of every reshard/derate/restore/
 #         placement the control loop actuated; CI archives it too.
+#         `make chaos-smoke` sweeps 25 seeded random fault schedules
+#         against the invariant checkers under -race; failures print a
+#         one-line repro and a shrunk minimal schedule, and the replay log
+#         (chaos-repro.log) is archived. `make chaos` is the long sweep.
 # CI:     .github/workflows/ci.yml runs exactly `make ci` on push/PR with
 #         Go module caching, so the same gate holds outside laptops.
 # Update: `make baseline` regenerates BENCH_baseline.json (ns/op, B/op,
@@ -35,9 +39,9 @@ GO ?= go
 # committed baseline).
 BENCH_THRESHOLD ?= 0.25
 
-.PHONY: ci fmt vet build test test-race bench-smoke bench-check baseline telemetry-smoke autopilot-smoke
+.PHONY: ci fmt vet build test test-race bench-smoke bench-check baseline telemetry-smoke autopilot-smoke chaos-smoke chaos
 
-ci: fmt vet build test test-race bench-check telemetry-smoke autopilot-smoke
+ci: fmt vet build test test-race bench-check telemetry-smoke autopilot-smoke chaos-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -87,6 +91,20 @@ telemetry-smoke:
 # build artifact so the control loop's audit trail ships with every run.
 autopilot-smoke:
 	$(GO) run ./cmd/experiments -run e17 -decisions e17-decisions.log
+
+# Chaos smoke: a fixed short sweep of seeded fault schedules against the
+# global invariant checkers, under the race detector (the sweep fans seeds
+# out across worker goroutines, each with its own kernel). Any failing seed
+# prints a one-line repro (`go run ./cmd/chaos -steps short -seed N`), the
+# shrunk minimal schedule, and writes the full deterministic replay log to
+# chaos-repro.log — CI uploads it as a build artifact on failure.
+chaos-smoke:
+	$(GO) run -race ./cmd/chaos -steps short -seeds 25 -log chaos-repro.log
+
+# The long sweep: not part of `make ci` — run it after changes to the
+# replication engines, recovery paths, or the declarative surface.
+chaos:
+	$(GO) run ./cmd/chaos -steps medium -seeds 500 -log chaos-repro.log
 
 # Record the bench numbers as JSON (one entry per harness, with -benchmem
 # allocation columns; minimum ns/op over -count 3, matching what

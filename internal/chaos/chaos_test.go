@@ -1,0 +1,187 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChaosSmokeSeeds runs a fixed handful of short schedules clean — the
+// in-tree half of `make chaos-smoke` (the Makefile target drives the same
+// seeds through cmd/chaos under -race).
+func TestChaosSmokeSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		sch, err := Generate(seed, "short")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Run(sch)
+		if res.Failed() {
+			t.Errorf("seed %d failed:\n%s", seed, res.LogText())
+		}
+		if res.Orders == 0 {
+			t.Errorf("seed %d placed no orders", seed)
+		}
+		if res.Checks == 0 && len(sch.Faults) > 0 {
+			t.Errorf("seed %d ran no checkpoints over %d faults", seed, len(sch.Faults))
+		}
+	}
+}
+
+// TestChaosReplayByteIdentical is the repro guarantee: generating and
+// running the same seed twice yields byte-identical replay artifacts —
+// schedule, fault log, violations, everything.
+func TestChaosReplayByteIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		sch1, err := Generate(seed, "short")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch2, _ := Generate(seed, "short")
+		a, b := Run(sch1).LogText(), Run(sch2).LogText()
+		if a != b {
+			t.Fatalf("seed %d replay diverged:\n--- first\n%s\n--- second\n%s", seed, a, b)
+		}
+	}
+}
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	a, err := Generate(99, "medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(99, "medium")
+	if a.String() != b.String() {
+		t.Fatal("same seed generated different schedules")
+	}
+	if len(a.Tenants) == 0 || len(a.Faults) == 0 {
+		t.Fatalf("degenerate schedule: %s", a)
+	}
+	for i, f := range a.Faults {
+		if f.Seq != i {
+			t.Fatalf("fault %d carries Seq %d", i, f.Seq)
+		}
+		if i > 0 && f.At < a.Faults[i-1].At {
+			t.Fatalf("fault times not monotone: %s", a)
+		}
+	}
+	if _, err := Generate(1, "bogus"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+// TestChaosPlantCaughtAndShrunk proves the detection pipeline end to end: a
+// deliberately planted backup corruption is caught by the invariant
+// checkers, reported as a one-line repro, and shrunk to the minimal failing
+// schedule — the plant alone.
+func TestChaosPlantCaughtAndShrunk(t *testing.T) {
+	sch, err := Generate(7, "short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	planted := sch.PlantCorruption()
+	res := Run(planted)
+	if !res.Failed() {
+		t.Fatalf("planted corruption not caught:\n%s", res.LogText())
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Invariant == "consistent-cut" && strings.Contains(v.Detail, "collapsed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a collapsed consistent-cut violation, got %v", res.Violations)
+	}
+	if want := fmt.Sprintf("-seed %d", sch.Seed); !strings.Contains(res.ReproLine(), want) {
+		t.Fatalf("repro line %q does not name the seed", res.ReproLine())
+	}
+
+	sr := Shrink(planted, 100)
+	if len(sr.Minimal.Faults) != 1 || sr.Minimal.Faults[0].Kind != FaultPlant {
+		t.Fatalf("want shrink to the plant alone, got %v (trace %v)", sr.Minimal.Faults, sr.Trace)
+	}
+	if !Run(sr.Minimal).Failed() {
+		t.Fatal("minimal schedule does not fail")
+	}
+}
+
+// TestChaosShrinkDeterministic: shrinking the same failing schedule twice
+// takes the same decisions and lands on the same minimal subset.
+func TestChaosShrinkDeterministic(t *testing.T) {
+	sch, err := Generate(11, "short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	planted := sch.PlantCorruption()
+	if !Run(planted).Failed() {
+		t.Fatalf("planted schedule did not fail:\n%s", Run(planted).LogText())
+	}
+	a := Shrink(planted, 100)
+	b := Shrink(planted, 100)
+	if a.Runs != b.Runs || strings.Join(a.Trace, ";") != strings.Join(b.Trace, ";") {
+		t.Fatalf("shrink diverged:\n%v (%d runs)\n%v (%d runs)", a.Trace, a.Runs, b.Trace, b.Runs)
+	}
+	if a.Minimal.String() != b.Minimal.String() {
+		t.Fatalf("minimal schedules differ:\n%s\n%s", a.Minimal, b.Minimal)
+	}
+}
+
+// TestChaosFailbackRefusal is the regression for the typed sharded-failback
+// refusal: a failback fault after a sharded tenant's failover must surface
+// core.ErrShardedFailback immediately (zero simulated time — a registry
+// scan), not burn a wait timeout, and must not count as a run failure.
+func TestChaosFailbackRefusal(t *testing.T) {
+	sch := &Schedule{
+		Seed:  42,
+		Steps: "short",
+		Links: 2,
+		Tenants: []TenantPlan{
+			{Orders: 60, ThinkTime: 2 * time.Millisecond, Shards: 2},
+		},
+		Faults: []Fault{
+			{Seq: 0, At: 120 * time.Millisecond, Kind: FaultFailover, Tenant: 0},
+			{Seq: 1, At: 160 * time.Millisecond, Kind: FaultFailback, Tenant: -1},
+		},
+	}
+	res := Run(sch)
+	if res.Failed() {
+		t.Fatalf("refusal treated as failure:\n%s", res.LogText())
+	}
+	refused := ""
+	for _, l := range res.Log {
+		if strings.Contains(l, "failback: refused") {
+			refused = l
+		}
+	}
+	if refused == "" {
+		t.Fatalf("no refusal logged:\n%s", res.LogText())
+	}
+	// Prompt means zero virtual time: the refusal happens in the registry
+	// scan before anything is touched.
+	if !strings.Contains(refused, "refused in 0s") {
+		t.Fatalf("refusal burned simulated time: %q", refused)
+	}
+	if !strings.Contains(refused, "sharded") {
+		t.Fatalf("refusal is not the typed sharded error: %q", refused)
+	}
+}
+
+// TestChaosWithFaultsIsolated: WithFaults copies, so shrink probes cannot
+// mutate the schedule they minimize.
+func TestChaosWithFaultsIsolated(t *testing.T) {
+	sch, err := Generate(3, "short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sch.Faults) < 2 {
+		t.Skip("schedule too small to exercise isolation")
+	}
+	orig := sch.Faults[0].Kind
+	sub := sch.WithFaults(sch.Faults[:1])
+	sub.Faults[0].Kind = FaultPlant
+	if sch.Faults[0].Kind != orig {
+		t.Fatal("WithFaults aliased the original fault slice")
+	}
+}

@@ -1,0 +1,67 @@
+package chaos
+
+import "fmt"
+
+// ShrinkResult describes a minimization: the minimal failing schedule, the
+// replays it took, and a deterministic trace of each decision.
+type ShrinkResult struct {
+	Minimal *Schedule
+	Runs    int
+	Trace   []string
+}
+
+// Shrink minimizes a failing schedule to a minimal failing sub-schedule in
+// two exact phases:
+//
+//  1. prefix bisection — binary search for the shortest failing prefix of
+//     the fault list (a failure caused by fault K never needs faults > K);
+//  2. greedy single-fault removal — drop each remaining fault in turn,
+//     keeping the removal whenever the schedule still fails (the one-pass
+//     flavor of ddmin; with deterministic replays every probe is exact).
+//
+// The result is 1-minimal: removing any single remaining fault makes the
+// failure disappear. maxRuns bounds the replay budget; if it runs out the
+// best schedule found so far is returned (still failing, maybe not
+// minimal). Shrink assumes sch itself fails — callers pass a schedule whose
+// Run already produced a failed Result.
+func Shrink(sch *Schedule, maxRuns int) ShrinkResult {
+	res := ShrinkResult{Minimal: sch}
+	fails := func(sub []Fault) bool {
+		if res.Runs >= maxRuns {
+			return false
+		}
+		res.Runs++
+		return Run(sch.WithFaults(sub)).Failed()
+	}
+
+	faults := sch.Faults
+	// Phase 1: shortest failing prefix. Invariant: faults[:hi] fails.
+	lo, hi := 1, len(faults)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if fails(faults[:mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	cur := append([]Fault(nil), faults[:hi]...)
+	res.Trace = append(res.Trace, fmt.Sprintf("prefix: %d -> %d faults", len(faults), len(cur)))
+
+	// Phase 2: greedy removal of single faults.
+	for i := 0; i < len(cur); {
+		if len(cur) == 1 {
+			break // a failing singleton is minimal by definition
+		}
+		trial := append(append([]Fault(nil), cur[:i]...), cur[i+1:]...)
+		if fails(trial) {
+			res.Trace = append(res.Trace, fmt.Sprintf("dropped fault #%02d (%s)", cur[i].Seq, cur[i].Kind))
+			cur = trial
+		} else {
+			i++
+		}
+	}
+	res.Trace = append(res.Trace, fmt.Sprintf("minimal: %d faults in %d replays", len(cur), res.Runs))
+	res.Minimal = sch.WithFaults(cur)
+	return res
+}

@@ -3,6 +3,7 @@ package csiplugin
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/fabric"
 	"repro/internal/platform"
@@ -102,11 +103,20 @@ func (rp *ReplicationPlugin) Groups(name string) []replication.Replicator {
 // this plugin did not create).
 func (rp *ReplicationPlugin) NamespaceOf(g replication.Replicator) string { return rp.nsByGroup[g] }
 
-// AllGroups returns every running engine (for site-wide operations).
+// AllGroups returns every running engine (for site-wide operations), in
+// CR-name order. The deterministic order matters: site-wide operations
+// like Failback visit the groups sequentially, so a map-order walk would
+// make their simulated timing — and which group a typed refusal names —
+// vary between runs of the same seed.
 func (rp *ReplicationPlugin) AllGroups() []replication.Replicator {
+	names := make([]string, 0, len(rp.groups))
+	for name := range rp.groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var out []replication.Replicator
-	for _, gs := range rp.groups {
-		out = append(out, gs...)
+	for _, name := range names {
+		out = append(out, rp.groups[name]...)
 	}
 	return out
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csiplugin"
 	"repro/internal/fabric"
+	"repro/internal/invariants"
 	"repro/internal/metrics"
 	"repro/internal/netlink"
 	"repro/internal/platform"
@@ -185,7 +186,7 @@ func e13Run(seed int64, shards, writes int, failover bool, res *ShardedThroughpu
 				return
 			}
 			p.Wait(writerDone) // let the writer finish acking into the stranded journal
-			res.CutWrites, res.FailoverConsistent = e13PrefixLen(vols)
+			res.CutWrites, res.FailoverConsistent = invariants.StampedPrefix(vols)
 			res.LostWrites = writes - res.CutWrites
 		})
 	}
@@ -228,24 +229,6 @@ func e13Provision(p *sim.Proc, sys *core.System, pvcs []string) error {
 		}
 	}
 	return nil
-}
-
-// e13PrefixLen scans the failed-over volumes for their sequence-stamped
-// blocks and reports the highest K with {1..K} all present — plus whether
-// the image is EXACTLY that prefix (a consistent cross-volume cut: nothing
-// newer leaked past the barrier).
-func e13PrefixLen(vols []*storage.Volume) (int, bool) {
-	present := make(map[uint64]bool)
-	for _, v := range vols {
-		for _, b := range v.WrittenBlocks() {
-			present[binary.BigEndian.Uint64(v.Peek(b))] = true
-		}
-	}
-	k := uint64(0)
-	for present[k+1] {
-		k++
-	}
-	return int(k), len(present) == int(k)
 }
 
 // E13Table renders the E13 results.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/invariants"
 	"repro/internal/metrics"
 )
 
@@ -142,7 +143,9 @@ func E14Elasticity(seed int64, tenants, orders int) (ElasticityResult, error) {
 			steady++
 		}
 		if t.Left {
-			res.ResidueLeaks += len(churn.Sys.TenantResidue(t.Namespace))
+			// The shared zero-residue checker: one violation per leaked
+			// object, so the count matches the old direct-residue tally.
+			res.ResidueLeaks += len(invariants.CheckZeroResidue(t.Namespace, churn.Sys.TenantResidue(t.Namespace)))
 		}
 	}
 	if steady > 0 {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csiplugin"
 	"repro/internal/fabric"
+	"repro/internal/invariants"
 	"repro/internal/metrics"
 	"repro/internal/netlink"
 	"repro/internal/platform"
@@ -327,7 +328,7 @@ func e15Run(seed int64, writes int, failover bool, res *ReshardResult) error {
 				}
 				targets[i] = tv
 			}
-			res.CutWrites, res.FailoverConsistent = e13PrefixLen(targets)
+			res.CutWrites, res.FailoverConsistent = invariants.StampedPrefix(targets)
 			res.LostWrites = writes - res.CutWrites
 		})
 	}

@@ -83,6 +83,19 @@ func (j *Journal) Overflows() int64 { return j.overflows }
 // CapacityBytes returns the configured capacity (0 = unlimited).
 func (j *Journal) CapacityBytes() int { return j.capacityBytes }
 
+// SetCapacityBytes re-declares the journal capacity at runtime (0 =
+// unlimited) — the management-API knob a capacity squeeze turns. If the
+// pending backlog already exceeds the new bound the journal overflows
+// immediately: capacity is a promise about the backlog, so shrinking it
+// under an oversized backlog must fail closed rather than leave a journal
+// silently over its declared bound.
+func (j *Journal) SetCapacityBytes(n int) {
+	j.capacityBytes = n
+	if n > 0 && !j.overflowed && j.PendingBytes() > n {
+		j.overflow()
+	}
+}
+
 // ClearOverflow re-enables journaling after a resync has reconciled the
 // target. The replication engine calls it; see replication.Group.Resync.
 func (j *Journal) ClearOverflow() {

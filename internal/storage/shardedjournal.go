@@ -301,6 +301,27 @@ func (sj *ShardedJournal) Overflowed() bool { return sj.overflowed }
 // Overflows returns how many times the group has overflowed.
 func (sj *ShardedJournal) Overflows() int64 { return sj.overflows }
 
+// CapacityPerShard returns the per-shard capacity bound (0 = unlimited).
+func (sj *ShardedJournal) CapacityPerShard() int { return sj.capacityPerShard }
+
+// SetCapacityPerShard re-declares every shard's capacity at runtime (0 =
+// unlimited); shards created by later reshards inherit it. If any shard's
+// backlog already exceeds the new bound the whole group fails closed
+// immediately — same all-or-none rule as an append-time overflow.
+func (sj *ShardedJournal) SetCapacityPerShard(n int) {
+	sj.capacityPerShard = n
+	squeeze := false
+	for _, j := range sj.shards {
+		j.capacityBytes = n
+		if n > 0 && j.PendingBytes() > n {
+			squeeze = true
+		}
+	}
+	if squeeze && !sj.overflowed {
+		sj.overflow()
+	}
+}
+
 // ClearOverflow re-enables journaling on every shard after a resync.
 func (sj *ShardedJournal) ClearOverflow() {
 	sj.overflowed = false

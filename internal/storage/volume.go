@@ -43,6 +43,11 @@ func (v *Volume) StartChangeTracking() { v.changed = make(map[int64]bool) }
 // StopChangeTracking discards the change record.
 func (v *Volume) StopChangeTracking() { v.changed = nil }
 
+// TrackingChanges reports whether the volume is currently change tracking —
+// the fail-closed invariant checkers use it to assert that every member of
+// an overflowed journal is accumulating its resync delta.
+func (v *Volume) TrackingChanges() bool { return v.changed != nil }
+
 // ChangedBlocks returns the blocks written since StartChangeTracking, in
 // ascending order.
 func (v *Volume) ChangedBlocks() []int64 {
