@@ -146,6 +146,24 @@ func BenchmarkE12_Interference(b *testing.B) {
 	}
 }
 
+// BenchmarkE12_InterferenceWindowed reruns E12's scheduled scenarios
+// (weighted classes, dedicated link, member-link failure) with a per-link
+// in-flight window of 4: the QoS isolation shape and every tenant's
+// consistency cut must survive pipelined dispatch.
+func BenchmarkE12_InterferenceWindowed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.E12InterferenceWindowed(int64(i+1), 40, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if !r.Consistent {
+				b.Fatalf("consistency cut broke under window=4: %+v", r)
+			}
+		}
+	}
+}
+
 // BenchmarkE13_ShardedThroughput regenerates E13: one write-heavy tenant's
 // consistency-group journal sharded across 1/2/4/8 drain lanes over a
 // four-link fabric. The acceptance shape is asserted here too: >= 2x drain
@@ -177,6 +195,23 @@ func BenchmarkE13_ShardedThroughput(b *testing.B) {
 func BenchmarkE11_FleetScale(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.E11FleetScale(int64(i+1), 1024, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Verified != res.Tenants || res.Collapsed != 0 {
+			b.Fatalf("fleet inconsistent: %+v", res)
+		}
+	}
+}
+
+// BenchmarkE11_FleetScaleParallel is BenchmarkE11_FleetScale pinned to four
+// scheduler workers, so the parallel tenant-subgraph path is exercised (and
+// its wall cost pinned) even on hosts where GOMAXPROCS would pick a
+// different worker count. The simulated outcome is identical either way
+// (golden-trace verified).
+func BenchmarkE11_FleetScaleParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E11FleetScaleWorkers(int64(i+1), 1024, 8, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -258,6 +293,29 @@ func BenchmarkE17_Autopilot(b *testing.B) {
 		}
 		if res.ReshardUps == 0 || res.Derates == 0 || res.Placings == 0 {
 			b.Fatalf("an effector never fired: %+v", res)
+		}
+	}
+}
+
+// BenchmarkE18_PipeFill regenerates E18: the same sharded drain schedule
+// over one 50ms geo link at per-link in-flight windows 1/4/16. The
+// acceptance shape is asserted here too: >= 5x drain throughput at
+// window=16 vs stop-and-wait, per-link delivery order proven monotone, and
+// an exact ack-order prefix from the mid-window partition/heal/failover run
+// at every window.
+func BenchmarkE18_PipeFill(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.E18PipeFill(int64(i+1), []int{1, 4, 16}, 6144)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if !r.OrderOK || !r.FailoverConsistent {
+				b.Fatalf("window=%d: order/cut broke: %+v", r.Window, r)
+			}
+		}
+		if results[2].Window != 16 || results[2].Speedup < 5 {
+			b.Fatalf("window=16 speedup %.2fx < 5x: %+v", results[2].Speedup, results)
 		}
 	}
 }

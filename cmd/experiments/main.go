@@ -1,5 +1,5 @@
 // Command experiments regenerates every table/figure of the reproduction
-// (E1-E17; DESIGN.md carries the experiment index). Select a subset with
+// (E1-E18; DESIGN.md carries the experiment index). Select a subset with
 // -run.
 package main
 
@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment IDs (e1,e2,...,e17) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment IDs (e1,e2,...,e18) or 'all'")
 	seed := flag.Int64("seed", 1, "base simulation seed")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	kernelStats := flag.Bool("kernelstats", false, "print kernel scheduler counters for every simulated environment")
@@ -209,6 +209,17 @@ func main() {
 			fmt.Printf("autopilot decision log written to %s (%d decisions)\n\n",
 				*decisionsOut, len(res.Decisions))
 		}
+	}
+	if sel("e18") {
+		e18Writes := 6144
+		if *quick {
+			e18Writes = 2048
+		}
+		res, err := experiments.E18PipeFill(*seed, []int{1, 4, 16}, e18Writes)
+		if err != nil {
+			log.Fatalf("E18: %v", err)
+		}
+		fmt.Println(experiments.E18Table(res))
 	}
 	if sel("e9") {
 		batch, err := experiments.E9BatchSweep(*seed, []int{1, 4, 16, 64, 256}, orders)

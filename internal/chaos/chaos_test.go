@@ -185,3 +185,61 @@ func TestChaosWithFaultsIsolated(t *testing.T) {
 		t.Fatal("WithFaults aliased the original fault slice")
 	}
 }
+
+// TestChaosLinkLossDegradesAndRecovers: a hand-built schedule with one
+// loss/jitter burst on a forward member link must retransmit (the burst
+// really bit), pass every invariant checkpoint, and clear back to a clean
+// link — with the pipelined (window > 1) dispatchers in flight throughout.
+func TestChaosLinkLossDegradesAndRecovers(t *testing.T) {
+	sch := &Schedule{
+		Seed:  42,
+		Steps: "short",
+		Links: 2,
+		Tenants: []TenantPlan{
+			{Orders: 80, ThinkTime: time.Millisecond, Shards: 2},
+		},
+		Faults: []Fault{
+			{Seq: 0, At: 60 * time.Millisecond, Kind: FaultLinkLoss, Tenant: -1,
+				Link: 0, Loss: 0.5, Jitter: 2 * time.Millisecond, Dur: 150 * time.Millisecond},
+		},
+	}
+	res := Run(sch)
+	if res.Failed() {
+		t.Fatalf("linkloss burst failed invariants:\n%s", res.LogText())
+	}
+	cleared := ""
+	for _, l := range res.Log {
+		if strings.Contains(l, "linkloss: cleared") {
+			cleared = l
+		}
+	}
+	if cleared == "" {
+		t.Fatalf("burst never cleared:\n%s", res.LogText())
+	}
+	if strings.Contains(cleared, "(0 retransmits)") {
+		t.Fatalf("burst caused no retransmits at 50%% loss: %q", cleared)
+	}
+}
+
+// TestGenerateIncludesLinkLoss: the new fault is part of the generated
+// alphabet, not just the hand-built path.
+func TestGenerateIncludesLinkLoss(t *testing.T) {
+	found := false
+	for seed := int64(1); seed <= 20 && !found; seed++ {
+		sch, err := Generate(seed, "medium")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range sch.Faults {
+			if f.Kind == FaultLinkLoss {
+				if f.Loss <= 0 || f.Dur <= 0 {
+					t.Fatalf("degenerate linkloss fault: %s", f)
+				}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no seed in 1..20 generated a linkloss fault")
+	}
+}

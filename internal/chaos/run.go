@@ -97,8 +97,12 @@ func Run(sch *Schedule) *Result {
 		links[i] = netlink.Config{Propagation: 2 * time.Millisecond, BandwidthBps: 8e6}
 	}
 	sys := core.NewSystem(core.Config{
-		Seed:         sch.Seed,
-		Fabric:       fabric.Config{Links: links},
+		Seed: sch.Seed,
+		// WindowPerLink 4 runs the sweep against the pipelined dispatchers,
+		// so linkdown/linkloss bursts land while frames are genuinely in
+		// flight (partition-with-in-flight-frames, retransmission under
+		// pipelining) on every seed.
+		Fabric:       fabric.Config{Links: links, WindowPerLink: 4},
 		Storage:      storage.Config{IsolatedVolumes: true},
 		VolumeBlocks: 4096,
 	})
@@ -247,6 +251,8 @@ func (r *runner) fire(p *sim.Proc, f Fault) {
 	switch f.Kind {
 	case FaultLinkDown:
 		r.linkDown(p, f)
+	case FaultLinkLoss:
+		r.linkLoss(p, f)
 	case FaultSiteCut:
 		r.siteCut(p, f)
 	case FaultFailover:
@@ -293,6 +299,18 @@ func (r *runner) linkDown(p *sim.Proc, f Fault) {
 	p.Sleep(f.Dur)
 	l.Heal()
 	r.logf(p, "fault #%02d linkdown: healed", f.Seq)
+}
+
+func (r *runner) linkLoss(p *sim.Proc, f Fault) {
+	links := r.sys.Fabric.Forward.Links()
+	l := links[f.Link%len(links)]
+	before := l.Retransmits()
+	r.logf(p, "fault #%02d linkloss: degrade member link %d loss=%.2f jitter=%v for %v",
+		f.Seq, f.Link%len(links), f.Loss, f.Jitter, f.Dur)
+	l.SetFault(f.Loss, f.Jitter)
+	p.Sleep(f.Dur)
+	l.SetFault(0, 0)
+	r.logf(p, "fault #%02d linkloss: cleared (%d retransmits)", f.Seq, l.Retransmits()-before)
 }
 
 func (r *runner) siteCut(p *sim.Proc, f Fault) {

@@ -51,6 +51,11 @@ const (
 	// restores capacity and recovers (resync or full re-copy) with zero
 	// loss verified.
 	FaultSqueeze
+	// FaultLinkLoss degrades one fabric member link for Dur with a
+	// transient loss/jitter burst (frames retransmit instead of being cut
+	// off), then clears it — the degraded-but-alive sibling of
+	// FaultLinkDown, exercising retransmission under pipelined dispatch.
+	FaultLinkLoss
 	// FaultPlant is the test-only violation hook: it corrupts the tenant's
 	// backup sales volume behind the replication engine's back, so the next
 	// checkpoint's consistency cut MUST collapse. Never generated — only
@@ -77,6 +82,8 @@ func (k FaultKind) String() string {
 		return "reshard"
 	case FaultSqueeze:
 		return "squeeze"
+	case FaultLinkLoss:
+		return "linkloss"
 	case FaultPlant:
 		return "plant"
 	}
@@ -91,16 +98,20 @@ type Fault struct {
 	At     time.Duration // sim time the driver fires it
 	Kind   FaultKind
 	Tenant int           // target tenant index; -1 for link-level faults
-	Link   int           // member-link index (FaultLinkDown)
-	Dur    time.Duration // partition / squeeze hold time
+	Link   int           // member-link index (FaultLinkDown, FaultLinkLoss)
+	Dur    time.Duration // partition / squeeze / loss-burst hold time
 	Shards int           // reshard target shard count
 	Bytes  int           // squeeze capacity in bytes
+	Loss   float64       // loss probability during a FaultLinkLoss burst
+	Jitter time.Duration // added propagation jitter during a FaultLinkLoss burst
 }
 
 func (f Fault) String() string {
 	switch f.Kind {
 	case FaultLinkDown:
 		return fmt.Sprintf("#%02d @%v linkdown link=%d dur=%v", f.Seq, f.At, f.Link, f.Dur)
+	case FaultLinkLoss:
+		return fmt.Sprintf("#%02d @%v linkloss link=%d loss=%.2f jitter=%v dur=%v", f.Seq, f.At, f.Link, f.Loss, f.Jitter, f.Dur)
 	case FaultSiteCut:
 		return fmt.Sprintf("#%02d @%v sitecut dur=%v", f.Seq, f.At, f.Dur)
 	case FaultReshard:
@@ -311,12 +322,21 @@ func Generate(seed int64, steps string) (*Schedule, error) {
 			switch pick(rng, []weighted{
 				{FaultLinkDown, 3}, {FaultSiteCut, 1}, {FaultFailover, 2},
 				{FaultFailback, 1}, {FaultJoin, 1}, {FaultLeave, 1},
-				{FaultReshard, 2}, {FaultSqueeze, 2},
+				{FaultReshard, 2}, {FaultSqueeze, 2}, {FaultLinkLoss, 2},
 			}) {
 			case FaultLinkDown:
 				f.Kind = FaultLinkDown
 				f.Link = rng.Intn(cfg.links)
 				f.Dur = time.Duration(10+rng.Intn(111)) * time.Millisecond
+				ok = true
+			case FaultLinkLoss:
+				// Always eligible, like linkdown: the burst needs no live
+				// tenant, only a member link.
+				f.Kind = FaultLinkLoss
+				f.Link = rng.Intn(cfg.links)
+				f.Loss = 0.05 * float64(1+rng.Intn(6)) // 5%..30%
+				f.Jitter = time.Duration(rng.Intn(3)) * time.Millisecond
+				f.Dur = time.Duration(30+rng.Intn(101)) * time.Millisecond
 				ok = true
 			case FaultSiteCut:
 				f.Kind = FaultSiteCut

@@ -48,9 +48,11 @@ type Config struct {
 	Link netlink.Config
 	// Fabric configures the inter-site fabric: Fabric.Links, when set,
 	// REPLACES Link as the member-link roster (heterogeneous members
-	// allowed); Fabric.Classes adds QoS scheduling at the ingress. The
-	// zero value keeps a single-member passthrough fabric that behaves
-	// byte-for-byte like the plain Link pipe.
+	// allowed); Fabric.Classes adds QoS scheduling at the ingress;
+	// Fabric.WindowPerLink > 1 pipelines scheduled dispatch so each member
+	// keeps that many transfers propagating concurrently (high-BDP links,
+	// E18). The zero value keeps a single-member passthrough fabric that
+	// behaves byte-for-byte like the plain Link pipe.
 	Fabric fabric.Config
 	// PathClass maps a namespace to a fabric QoS class name; nil or an
 	// unknown name binds to the default class. The fleet layer uses this

@@ -62,6 +62,7 @@ type e12Scenario struct {
 	classes     []fabric.ClassConfig
 	noisy       bool
 	linkFailure bool
+	window      int // per-link in-flight window (0 = stop-and-wait default)
 }
 
 func e12Scenarios() []e12Scenario {
@@ -111,6 +112,31 @@ func E12Interference(seed int64, orders int) ([]InterferenceResult, error) {
 	return out, nil
 }
 
+// E12InterferenceWindowed reruns the scheduled E12 scenarios (the ones with
+// QoS classes — passthrough fabrics have no dispatcher to window) with a
+// per-link in-flight window. The QoS shape and every consistency cut must
+// survive pipelining: DRR still picks who serializes next, the window only
+// overlaps serialization with propagation.
+func E12InterferenceWindowed(seed int64, orders, window int) ([]InterferenceResult, error) {
+	if orders <= 0 {
+		orders = 40
+	}
+	var out []InterferenceResult
+	for _, sc := range e12Scenarios() {
+		if len(sc.classes) == 0 {
+			continue
+		}
+		sc.window = window
+		sc.name = fmt.Sprintf("%s/w%d", sc.name, window)
+		r, err := e12Run(seed, sc, orders)
+		if err != nil {
+			return out, fmt.Errorf("E12 %s: %w", sc.name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
 func e12Run(seed int64, sc e12Scenario, orders int) (InterferenceResult, error) {
 	res := InterferenceResult{
 		Scenario: sc.name, Links: len(sc.links), Noisy: sc.noisy, LinkFailure: sc.linkFailure,
@@ -121,7 +147,7 @@ func e12Run(seed int64, sc e12Scenario, orders int) (InterferenceResult, error) 
 	scfg := storage.Config{Parallelism: 32}
 	main := storage.NewArray(env, "main", scfg)
 	backup := storage.NewArray(env, "backup", scfg)
-	fab := fabric.New(env, fabric.Config{Links: sc.links, Classes: sc.classes})
+	fab := fabric.New(env, fabric.Config{Links: sc.links, Classes: sc.classes, WindowPerLink: sc.window})
 
 	mkPair := func(id storage.VolumeID, blocks int64) error {
 		if _, err := main.CreateVolume(id, blocks); err != nil {

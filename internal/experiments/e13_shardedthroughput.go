@@ -11,7 +11,6 @@ import (
 	"repro/internal/invariants"
 	"repro/internal/metrics"
 	"repro/internal/netlink"
-	"repro/internal/platform"
 	"repro/internal/replication"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -118,7 +117,7 @@ func e13Run(seed int64, shards, writes int, failover bool, res *ShardedThroughpu
 	writerDone := sys.Env.NewEvent()
 	sys.Env.Process("driver", func(p *sim.Proc) {
 		defer writerDone.Trigger()
-		if err := e13Provision(p, sys, pvcs); err != nil {
+		if err := provisionClaims(p, sys, e13Namespace, pvcs); err != nil {
 			runErr = err
 			return
 		}
@@ -197,38 +196,6 @@ func e13Run(seed int64, shards, writes int, failover bool, res *ShardedThroughpu
 	sys.Env.Run(0)
 	recordKernel(fmt.Sprintf("e13/shards=%d,failover=%v", shards, failover), sys.Env)
 	return runErr
-}
-
-// e13Provision creates the tenant namespace and its PVCs and waits for the
-// provisioner to bind every claim.
-func e13Provision(p *sim.Proc, sys *core.System, pvcs []string) error {
-	if err := sys.Main.API.Create(p, &platform.Namespace{
-		Meta: platform.Meta{Kind: platform.KindNamespace, Name: e13Namespace},
-	}); err != nil {
-		return err
-	}
-	for _, name := range pvcs {
-		if err := sys.Main.API.Create(p, &platform.PersistentVolumeClaim{
-			Meta: platform.Meta{Kind: platform.KindPVC, Namespace: e13Namespace, Name: name},
-			Spec: platform.PVCSpec{StorageClassName: core.StorageClassName, SizeBlocks: sys.Cfg.VolumeBlocks},
-		}); err != nil {
-			return err
-		}
-	}
-	deadline := p.Now() + 30*time.Second
-	for _, name := range pvcs {
-		for {
-			obj, err := sys.Main.API.Get(p, platform.ObjectKey{Kind: platform.KindPVC, Namespace: e13Namespace, Name: name})
-			if err == nil && obj.(*platform.PersistentVolumeClaim).Status.Phase == platform.ClaimBound {
-				break
-			}
-			if p.Now() >= deadline {
-				return fmt.Errorf("claim %s never bound", name)
-			}
-			p.Sleep(5 * time.Millisecond)
-		}
-	}
-	return nil
 }
 
 // E13Table renders the E13 results.

@@ -504,3 +504,48 @@ func TestE15ReshardLiveMigration(t *testing.T) {
 	}
 	t.Log("\n" + E15Table(res).String())
 }
+
+func TestE18PipeFillScalesAndStaysInOrder(t *testing.T) {
+	windows := []int{1, 4, 16}
+	results, err := E18PipeFill(1, windows, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(windows) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if !r.OrderOK {
+			t.Errorf("window=%d: per-link delivery order violated", r.Window)
+		}
+		if !r.FailoverConsistent {
+			t.Errorf("window=%d: failover image not an exact prefix (cut=%d lost=%d)", r.Window, r.CutWrites, r.LostWrites)
+		}
+		if r.Window > 1 {
+			// Every frame committed to the wire at the cut delivers during
+			// the partition (at most one extra frame was mid-serialization);
+			// nothing queued behind the cut sneaks out.
+			if r.DeliveredDuringCut < int64(r.InFlightAtCut) || r.DeliveredDuringCut > int64(r.InFlightAtCut)+1 {
+				t.Errorf("window=%d: delivered %d during cut with %d in flight", r.Window, r.DeliveredDuringCut, r.InFlightAtCut)
+			}
+			if r.InFlightAtCut < 2 {
+				t.Errorf("window=%d: cut landed with only %d frames in flight — not mid-window", r.Window, r.InFlightAtCut)
+			}
+			if r.Pipelined == 0 {
+				t.Errorf("window=%d: no overlapped sends recorded", r.Window)
+			}
+			if r.MaxInFlight > r.Window {
+				t.Errorf("window=%d: %d frames in flight exceeds the window", r.Window, r.MaxInFlight)
+			}
+		}
+	}
+	// The acceptance shape: near-linear gain with the window over the 50ms
+	// geo hop, >= 5x by window=16 on the same schedule.
+	if results[1].Speedup < 2.5 {
+		t.Errorf("window=4 speedup = %.2fx, want >= 2.5x", results[1].Speedup)
+	}
+	if results[2].Speedup < 5 {
+		t.Errorf("window=16 speedup = %.2fx, want >= 5x", results[2].Speedup)
+	}
+	t.Log("\n" + E18Table(results).String())
+}

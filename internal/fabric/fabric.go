@@ -71,8 +71,23 @@ type Config struct {
 	// QuantumBytes is the DRR quantum credited per weight unit per round
 	// (default 64 KiB).
 	QuantumBytes int
-	// RetryBackoff is the caller's pause after an ingress drop (default 1ms).
+	// RetryBackoff is the caller's initial pause after an ingress drop
+	// (default 1ms). Repeated drops back off exponentially from here.
 	RetryBackoff time.Duration
+	// RetryBackoffCap bounds the exponential drop-retry backoff (default
+	// 32x RetryBackoff).
+	RetryBackoffCap time.Duration
+	// WindowPerLink caps how many transfers one member link may have in
+	// flight — serialized onto the wire but still propagating — at once.
+	// The default 1 is the classic stop-and-wait dispatcher (the wire idles
+	// for the full propagation delay between frames), byte-for-byte
+	// identical to the pre-window fabric. Raising it pipelines dispatch: a
+	// member picks and serializes the next admitted request while up to
+	// WindowPerLink-1 earlier frames are still in flight, filling high
+	// bandwidth-delay-product links (E18). Admission semantics (DRR, token
+	// buckets, pins, partition parking) are unchanged; deliveries stay in
+	// order per link.
+	WindowPerLink int
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +99,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = time.Millisecond
+	}
+	if c.RetryBackoffCap <= 0 {
+		c.RetryBackoffCap = 32 * c.RetryBackoff
+	}
+	if c.WindowPerLink <= 0 {
+		c.WindowPerLink = 1
 	}
 	return c
 }
@@ -231,6 +252,32 @@ type Fabric struct {
 	work     *sim.Event
 	stopEv   *sim.Event
 	stopped  bool
+
+	// linkStats holds per-member pipelining counters (windowed dispatch).
+	linkStats []linkStat
+}
+
+// linkStat counts one member dispatcher's pipelining behavior.
+type linkStat struct {
+	pipelined int64 // sends serialized while earlier frames were still in flight
+	stalls    int64 // dispatcher waits forced by a full in-flight window
+}
+
+// LinkWindowStats is a snapshot of one member's pipelining counters: how
+// often the window actually overlapped transfers (pipe fill) and how often
+// it was the binding constraint.
+type LinkWindowStats struct {
+	Pipelined    int64
+	WindowStalls int64
+}
+
+// LinkWindowStats returns member li's pipelining counters (zero for
+// out-of-range members and at the default window of 1).
+func (f *Fabric) LinkWindowStats(li int) LinkWindowStats {
+	if li < 0 || li >= len(f.linkStats) {
+		return LinkWindowStats{}
+	}
+	return LinkWindowStats{Pipelined: f.linkStats[li].pipelined, WindowStalls: f.linkStats[li].stalls}
 }
 
 // New builds a fabric, creating its member links from cfg.Links.
@@ -252,12 +299,13 @@ func NewWithLinks(env *sim.Env, cfg Config, links []*netlink.Link) *Fabric {
 		panic("fabric: no member links")
 	}
 	f := &Fabric{
-		env:    env,
-		cfg:    cfg,
-		links:  links,
-		byName: make(map[string]*class),
-		work:   env.NewEvent(),
-		stopEv: env.NewEvent(),
+		env:       env,
+		cfg:       cfg,
+		links:     links,
+		byName:    make(map[string]*class),
+		work:      env.NewEvent(),
+		stopEv:    env.NewEvent(),
+		linkStats: make([]linkStat, len(links)),
 	}
 	ccfgs := cfg.Classes
 	if len(ccfgs) == 0 {
@@ -318,7 +366,26 @@ func (f *Fabric) Path(classname, owner string) *TenantPath {
 	if !ok {
 		c = f.classes[0]
 	}
-	return &TenantPath{fabric: f, class: c, owner: owner, pin: -1}
+	return &TenantPath{fabric: f, class: c, owner: owner, pin: -1,
+		spread: pathSpread(owner, f.cfg.RetryBackoff)}
+}
+
+// pathSpread derives a deterministic per-path retry offset in [0, base)
+// from the owner name (FNV-1a), so N paths backing off from the same drop
+// instant retry at N distinct instants instead of in lockstep — without
+// drawing from the simulation Rand at retry time, which would perturb
+// replay determinism for every other random consumer.
+func pathSpread(owner string, base time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(owner); i++ {
+		h ^= uint64(owner[i])
+		h *= prime64
+	}
+	return time.Duration(h % uint64(base))
 }
 
 // PathOn returns a tenant path pinned to member link `link`: its transfers
@@ -420,8 +487,14 @@ func (f *Fabric) String() string {
 // under DRR + token buckets and carry it over this member link. A
 // partitioned member parks here until healed, which is exactly the
 // failover: the shared ingress queues keep draining through the other
-// members' dispatchers.
+// members' dispatchers. At the default window of 1 the loop is synchronous
+// stop-and-wait (pick, Transfer, trigger done); a larger WindowPerLink
+// routes to the pipelined loop instead.
 func (f *Fabric) dispatch(p *sim.Proc, li int) {
+	if f.cfg.WindowPerLink > 1 {
+		f.dispatchPipelined(p, li)
+		return
+	}
 	link := f.links[li]
 	for {
 		if f.stopped {
@@ -460,6 +533,82 @@ func (f *Fabric) dispatch(p *sim.Proc, li int) {
 		c.bytes += int64(req.size)
 		c.transfers++
 		req.done.Trigger()
+	}
+}
+
+// dispatchPipelined is the windowed per-link scheduler loop: after a
+// request finishes serializing, the dispatcher immediately picks the next
+// admitted request while up to WindowPerLink earlier frames are still
+// propagating. The request's done event fires at delivery (in ack order —
+// the link chains deliveries), so consumers observe identical completion
+// semantics to the synchronous loop; class byte/transfer counters advance
+// at serialization, when the bytes are committed to the pipe. A partition
+// parks admission here exactly like the synchronous loop, while frames
+// already serialized stay in flight and deliver.
+func (f *Fabric) dispatchPipelined(p *sim.Proc, li int) {
+	link := f.links[li]
+	win := f.cfg.WindowPerLink
+	var inflight []*sim.Event // delivery events, oldest first
+	for {
+		if f.stopped {
+			return
+		}
+		// Deliveries are in order per link, so triggered events form a
+		// prefix of the window.
+		for len(inflight) > 0 && inflight[0].Triggered() {
+			inflight = inflight[1:]
+		}
+		if link.Partitioned() {
+			if p.WaitAny(link.HealedEvent(), f.stopEv) == 1 {
+				return
+			}
+			continue
+		}
+		if len(inflight) >= win {
+			// Pipe full: block until the oldest frame lands.
+			f.linkStats[li].stalls++
+			if p.WaitAny(inflight[0], f.stopEv) == 1 {
+				return
+			}
+			continue
+		}
+		req, wait := f.pick(li, p.Now())
+		if req == nil {
+			if wait > 0 {
+				if f.work.Triggered() {
+					f.work = f.env.NewEvent()
+				}
+				p.WaitTimeout(f.work, wait)
+				continue
+			}
+			if len(inflight) > 0 {
+				// Nothing admitted but frames still propagating: wake on new
+				// work or on a delivery freeing window state, whichever first.
+				if f.work.Triggered() {
+					f.work = f.env.NewEvent()
+				}
+				if p.WaitAny(f.work, inflight[0], f.stopEv) == 2 {
+					return
+				}
+				continue
+			}
+			if f.work.Triggered() {
+				f.work = f.env.NewEvent()
+			}
+			if p.WaitAny(f.work, f.stopEv) == 1 {
+				return
+			}
+			continue
+		}
+		req.queueDelay = p.Now() - req.enq
+		if len(inflight) > 0 {
+			f.linkStats[li].pipelined++
+		}
+		link.SendTo(p, req.size, req.done)
+		c := req.path.class
+		c.bytes += int64(req.size)
+		c.transfers++
+		inflight = append(inflight, req.done)
 	}
 }
 
@@ -567,7 +716,8 @@ type TenantPath struct {
 	fabric *Fabric
 	class  *class
 	owner  string
-	pin    int // member link this path's transfers ride (-1 = any)
+	pin    int           // member link this path's transfers ride (-1 = any)
+	spread time.Duration // deterministic per-owner retry offset in [0, RetryBackoff)
 
 	bytes         int64
 	transfers     int64
@@ -589,12 +739,25 @@ func (tp *TenantPath) Transfer(p *sim.Proc, size int) time.Duration {
 		tp.record(size, took, 0)
 		return took
 	}
+	backoff := time.Duration(0)
 	for {
 		if mq := tp.class.cfg.MaxQueued; mq > 0 && tp.class.depth() >= mq {
-			// Ingress full: drop this attempt, back off, retry.
+			// Ingress full: drop this attempt, back off, retry. The backoff
+			// doubles per consecutive drop up to RetryBackoffCap, and the
+			// first retry adds the path's deterministic spread so paths that
+			// collided at one drop instant fan out instead of re-colliding
+			// at every subsequent retry (lockstep convoys).
 			tp.drops++
 			tp.class.drops++
-			p.Sleep(f.cfg.RetryBackoff)
+			if backoff == 0 {
+				backoff = f.cfg.RetryBackoff + tp.spread
+			} else if backoff < f.cfg.RetryBackoffCap {
+				backoff *= 2
+				if backoff > f.cfg.RetryBackoffCap {
+					backoff = f.cfg.RetryBackoffCap
+				}
+			}
+			p.Sleep(backoff)
 			continue
 		}
 		req := &request{size: size, enq: p.Now(), done: f.env.NewEvent(), path: tp, pin: tp.pin}

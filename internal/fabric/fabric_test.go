@@ -354,3 +354,215 @@ func TestDeterministicScheduling(t *testing.T) {
 		t.Fatalf("scheduling diverged across identical runs: (%d,%d) vs (%d,%d)", a1, b1, a2, b2)
 	}
 }
+
+// --- Windowed (pipelined) dispatch ---
+
+// windowedDrainTime runs `senders` back-to-back single-frame lanes over one
+// high-BDP member link at the given window and returns when the last of
+// `perSender` frames per lane delivered.
+func windowedDrainTime(t *testing.T, window, senders, perSender int) time.Duration {
+	t.Helper()
+	env := sim.NewEnv(1)
+	f := New(env, Config{
+		// ser = 1000B / 1e6B/s = 1ms, prop = 50ms: BDP of ~50 frames.
+		Links:         []netlink.Config{{Propagation: 50 * time.Millisecond, BandwidthBps: 1e6}},
+		Classes:       []ClassConfig{{Name: "bulk"}},
+		WindowPerLink: window,
+	})
+	var last time.Duration
+	for i := 0; i < senders; i++ {
+		tp := f.Path("bulk", "t"+string(rune('0'+i)))
+		env.Process("lane", func(p *sim.Proc) {
+			for j := 0; j < perSender; j++ {
+				tp.Transfer(p, 1000)
+			}
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	env.Run(0)
+	f.Stop()
+	return last
+}
+
+func TestWindowedDispatchFillsHighBDPLink(t *testing.T) {
+	// 8 lanes, 10 frames each: at window=1 the wire idles 50ms per frame
+	// (~80 x 51ms serialized end-to-end); at window=8 eight frames overlap
+	// their propagation and throughput approaches one frame per ser.
+	w1 := windowedDrainTime(t, 1, 8, 10)
+	w8 := windowedDrainTime(t, 8, 8, 10)
+	if w8 >= w1/4 {
+		t.Fatalf("window=8 drain %v, want < 1/4 of window=1 drain %v", w8, w1)
+	}
+}
+
+func TestWindowedDispatchCountsPipelining(t *testing.T) {
+	env := sim.NewEnv(1)
+	f := New(env, Config{
+		Links:         []netlink.Config{{Propagation: 50 * time.Millisecond, BandwidthBps: 1e6}},
+		Classes:       []ClassConfig{{Name: "bulk"}},
+		WindowPerLink: 4,
+	})
+	var wg int
+	flood(env, f.Path("bulk", "t0"), 8, 1000, 300*time.Millisecond, &wg)
+	env.Run(time.Second)
+	f.Stop()
+	st := f.LinkWindowStats(0)
+	if st.Pipelined == 0 {
+		t.Fatalf("no pipelined sends recorded: %+v", st)
+	}
+	if st.WindowStalls == 0 {
+		t.Fatalf("8 backlogged lanes never filled a window of 4: %+v", st)
+	}
+	if f.links[0].MaxInFlight() != 4 {
+		t.Fatalf("peak in-flight %d, want the window 4", f.links[0].MaxInFlight())
+	}
+	if f.links[0].OrderViolations() != 0 {
+		t.Fatalf("delivery order violations: %d", f.links[0].OrderViolations())
+	}
+}
+
+func TestWindowedPartitionCutsAdmissionNotFlight(t *testing.T) {
+	// Frames serialized before the cut deliver during the partition; frames
+	// queued behind it wait for heal. Single member, so there is no other
+	// dispatcher to fail over to.
+	env := sim.NewEnv(1)
+	f := New(env, Config{
+		Links:         []netlink.Config{{Propagation: 100 * time.Millisecond, BandwidthBps: 1e6}},
+		Classes:       []ClassConfig{{Name: "bulk"}},
+		WindowPerLink: 8,
+	})
+	tp := f.Path("bulk", "t0")
+	var done []time.Duration
+	for i := 0; i < 4; i++ {
+		env.Process("tx", func(p *sim.Proc) {
+			tp.Transfer(p, 1000)
+			done = append(done, p.Now())
+		})
+	}
+	env.Process("late", func(p *sim.Proc) {
+		p.Sleep(20 * time.Millisecond) // enqueued while partitioned
+		tp.Transfer(p, 1000)
+		done = append(done, p.Now())
+	})
+	env.Process("cut", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond) // after the 4 frames serialized (4ms)
+		f.links[0].Partition()
+		p.Sleep(490 * time.Millisecond)
+		f.links[0].Heal()
+	})
+	env.Run(0)
+	f.Stop()
+	if len(done) != 5 {
+		t.Fatalf("completed %d transfers, want 5", len(done))
+	}
+	for i, at := range done[:4] {
+		if at > 200*time.Millisecond {
+			t.Fatalf("pre-cut frame %d delivered at %v: waited for heal", i, at)
+		}
+	}
+	if done[4] < 500*time.Millisecond {
+		t.Fatalf("queued-behind-cut frame delivered at %v, before heal at 500ms", done[4])
+	}
+}
+
+func TestWindowedDeterministicScheduling(t *testing.T) {
+	run := func() []time.Duration {
+		env := sim.NewEnv(42)
+		f := New(env, Config{
+			Links: []netlink.Config{
+				{Propagation: 20 * time.Millisecond, BandwidthBps: 1e6, Jitter: 3 * time.Millisecond},
+				{Propagation: 50 * time.Millisecond, BandwidthBps: 2e6, Jitter: time.Millisecond},
+			},
+			Classes:       []ClassConfig{{Name: "gold", Weight: 3}, {Name: "bulk"}},
+			WindowPerLink: 4,
+		})
+		var done []time.Duration
+		for i, cl := range []string{"gold", "bulk", "gold", "bulk"} {
+			tp := f.Path(cl, "t"+string(rune('0'+i)))
+			env.Process("tx", func(p *sim.Proc) {
+				for j := 0; j < 10; j++ {
+					tp.Transfer(p, 1500)
+					done = append(done, p.Now())
+				}
+			})
+		}
+		env.Run(0)
+		f.Stop()
+		return done
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 40 {
+		t.Fatalf("runs completed %d vs %d transfers", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("completion %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// --- Drop-retry backoff ---
+
+func TestDropRetrySpreadsAndBacksOff(t *testing.T) {
+	// A slow link and a 1-deep ingress force sustained drops across many
+	// same-instant senders. With the fixed-interval retry every path woke at
+	// the same instants forever (a lockstep convoy); capped exponential
+	// backoff with per-owner spread must both complete the work and cost
+	// far fewer drop-retries.
+	const senders = 8
+	env := sim.NewEnv(1)
+	f := New(env, Config{
+		Links:   []netlink.Config{{BandwidthBps: 1e5}}, // 10ms per 1000B frame
+		Classes: []ClassConfig{{Name: "bulk", MaxQueued: 1}},
+	})
+	paths := make([]*TenantPath, senders)
+	completed := 0
+	for i := 0; i < senders; i++ {
+		tp := f.Path("bulk", "tenant-"+string(rune('a'+i)))
+		paths[i] = tp
+		env.Process("tx", func(p *sim.Proc) {
+			for j := 0; j < 5; j++ {
+				tp.Transfer(p, 1000)
+			}
+			completed++
+		})
+	}
+	env.Run(0)
+	f.Stop()
+	if completed != senders {
+		t.Fatalf("only %d/%d senders finished", completed, senders)
+	}
+	spreads := map[time.Duration]bool{}
+	var totalDrops int64
+	for _, tp := range paths {
+		spreads[tp.spread] = true
+		totalDrops += tp.DropRetries()
+	}
+	if len(spreads) < senders-1 {
+		t.Fatalf("owner spreads collide: %d distinct across %d paths", len(spreads), senders)
+	}
+	// 40 transfers x 10ms = 400ms of service behind a 1-deep queue. The old
+	// constant 1ms retry cost ~50+ drops per path; exponential backoff must
+	// land well under that.
+	if totalDrops > 25*senders {
+		t.Fatalf("drop-retries %d: backoff is not suppressing the convoy", totalDrops)
+	}
+}
+
+func TestDropRetryBackoffIsCapped(t *testing.T) {
+	cfg := Config{RetryBackoff: time.Millisecond}.withDefaults()
+	if cfg.RetryBackoffCap != 32*time.Millisecond {
+		t.Fatalf("default cap %v, want 32ms", cfg.RetryBackoffCap)
+	}
+	if cfg.WindowPerLink != 1 {
+		t.Fatalf("default window %d, want 1", cfg.WindowPerLink)
+	}
+	if pathSpread("a", time.Millisecond) == pathSpread("b", time.Millisecond) {
+		t.Fatalf("distinct owners hash to the same spread")
+	}
+	if pathSpread("a", time.Millisecond) != pathSpread("a", time.Millisecond) {
+		t.Fatalf("spread is not deterministic")
+	}
+}

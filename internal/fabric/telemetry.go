@@ -30,9 +30,23 @@ func (f *Fabric) Instrument(reg *telemetry.Registry, dir string) {
 		}, labels...)
 	}
 	for i, l := range f.links {
-		l := l
+		i, l := i, l
+		labels := []telemetry.Label{telemetry.L("dir", dir), telemetry.L("link", fmt.Sprintf("%d", i))}
 		reg.Probe("fabric.link.bytes", func(time.Duration) (float64, bool) {
 			return float64(l.SentBytes()), true
-		}, telemetry.L("dir", dir), telemetry.L("link", fmt.Sprintf("%d", i)))
+		}, labels...)
+		// Pipe-fill gauges for windowed dispatch (WindowPerLink > 1): frames
+		// serialized but still propagating right now, and the cumulative
+		// counts of overlapped sends and full-window stalls. All flat zero
+		// at the default window of 1.
+		reg.Probe("fabric.link.inflight", func(time.Duration) (float64, bool) {
+			return float64(l.InFlight()), true
+		}, labels...)
+		reg.Probe("fabric.link.pipelined", func(time.Duration) (float64, bool) {
+			return float64(f.linkStats[i].pipelined), true
+		}, labels...)
+		reg.Probe("fabric.link.windowstalls", func(time.Duration) (float64, bool) {
+			return float64(f.linkStats[i].stalls), true
+		}, labels...)
 	}
 }

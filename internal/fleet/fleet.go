@@ -59,6 +59,12 @@ type Config struct {
 	// journal across that many drain lanes (overrides System.JournalShards).
 	// 0 leaves System.JournalShards as configured.
 	JournalShards int
+	// FabricWindow, when > 1, lets every scheduled fabric member link carry
+	// that many in-flight transfers at once (overrides
+	// System.Fabric.WindowPerLink) — propagation-pipelined dispatch for
+	// high bandwidth-delay-product member links. 0 leaves the fabric at its
+	// configured (default stop-and-wait) window.
+	FabricWindow int
 	// Joins schedules extra tenants provisioned mid-run: each join submits
 	// a TenantSpec at its After time and lives a full tenant life from
 	// there. Joined tenants are appended to the roster after the initial
@@ -242,6 +248,9 @@ func New(cfg Config) *Fleet {
 	// has no private sampling loop. RPOSample therefore implies telemetry.
 	if cfg.RPOSample > 0 && cfg.System.Telemetry == nil {
 		cfg.System.Telemetry = &telemetry.Config{SamplePeriod: cfg.RPOSample}
+	}
+	if cfg.FabricWindow > 1 {
+		cfg.System.Fabric.WindowPerLink = cfg.FabricWindow
 	}
 	f := &Fleet{Sys: core.NewSystem(cfg.System), Cfg: cfg}
 	leaves := make(map[int]LeaveSpec, len(cfg.Leaves))

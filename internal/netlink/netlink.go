@@ -3,6 +3,17 @@
 // propagation delay, optional jitter and loss (handled by retransmission),
 // and operator-induced partitions. The slowdown and RPO experiments (E5, E7)
 // are functions of this model only.
+//
+// A transfer has two physical phases: serialization, which occupies the
+// wire (the link's one-slot sim.Resource), and propagation, during which
+// the frame is in flight and occupies nothing. Transfer couples the caller
+// to both phases; Send decouples them — the caller blocks only for
+// admission + serialization and receives an event that fires at delivery —
+// which is what lets a dispatcher keep a high bandwidth-delay-product pipe
+// full with windowed in-flight frames (E18). Deliveries are in order per
+// link regardless of jitter or loss retries: each frame's delivery is
+// chained behind the previously serialized frame's and recorded against a
+// per-link last-delivery watermark.
 package netlink
 
 import (
@@ -50,6 +61,19 @@ type Link struct {
 	transfers  int64
 	retransmit int64
 	busy       time.Duration // cumulative serialization time, for utilization
+
+	// Async-send (pipelined) state. tail is the delivery event of the most
+	// recently serialized frame: each new frame chains its own delivery
+	// behind it, which is what makes per-link delivery order independent of
+	// jitter and retransmission. lastDelivery is the watermark every arrival
+	// is recorded against; violations counts arrivals that would have gone
+	// backwards (zero by construction — exported so experiments can prove
+	// order rather than assume it).
+	tail         *sim.Event
+	inFlight     int
+	maxInFlight  int
+	lastDelivery time.Duration
+	violations   int64
 }
 
 // New returns a link in the connected state.
@@ -79,26 +103,44 @@ func (l *Link) serialization(size int) time.Duration {
 	return time.Duration(float64(size) / l.cfg.BandwidthBps * float64(time.Second))
 }
 
+// serialize runs the first physical phase: wait out any partition (the
+// model cuts admission, not the wire), queue for the wire, and occupy it
+// for the serialization time.
+func (l *Link) serialize(p *sim.Proc, size int) {
+	for l.partition {
+		p.Wait(l.healed)
+	}
+	l.wire.Acquire(p)
+	ser := l.serialization(size)
+	p.Sleep(ser)
+	l.busy += ser
+	l.wire.Release()
+}
+
+// propagate runs the second physical phase: the in-flight time to the far
+// end (propagation plus any jitter draw). It occupies no resource.
+func (l *Link) propagate(p *sim.Proc) {
+	prop := l.cfg.Propagation
+	if l.cfg.Jitter > 0 {
+		prop += time.Duration(l.env.Rand().Int63n(int64(l.cfg.Jitter)))
+	}
+	p.Sleep(prop)
+}
+
+// lost draws whether this transmission attempt was dropped in flight.
+func (l *Link) lost() bool {
+	return l.cfg.LossProb > 0 && l.env.Rand().Float64() < l.cfg.LossProb
+}
+
 // Transfer moves size bytes across the link, blocking the calling process
 // for queueing + serialization + propagation (+ jitter, loss retries, and
 // partition outages). It returns the total time the transfer took.
 func (l *Link) Transfer(p *sim.Proc, size int) time.Duration {
 	start := p.Now()
 	for {
-		for l.partition {
-			p.Wait(l.healed)
-		}
-		l.wire.Acquire(p)
-		ser := l.serialization(size)
-		p.Sleep(ser)
-		l.busy += ser
-		l.wire.Release()
-		prop := l.cfg.Propagation
-		if l.cfg.Jitter > 0 {
-			prop += time.Duration(l.env.Rand().Int63n(int64(l.cfg.Jitter)))
-		}
-		p.Sleep(prop)
-		if l.cfg.LossProb > 0 && l.env.Rand().Float64() < l.cfg.LossProb {
+		l.serialize(p, size)
+		l.propagate(p)
+		if l.lost() {
 			l.retransmit++
 			p.Sleep(l.cfg.RetransmitTimeout)
 			continue
@@ -107,6 +149,61 @@ func (l *Link) Transfer(p *sim.Proc, size int) time.Duration {
 		l.transfers++
 		return p.Now() - start
 	}
+}
+
+// Send begins an asynchronous transfer and returns the event that fires at
+// delivery. See SendTo.
+func (l *Link) Send(p *sim.Proc, size int) *sim.Event {
+	done := l.env.NewEvent()
+	l.SendTo(p, size, done)
+	return done
+}
+
+// SendTo begins an asynchronous transfer whose completion triggers the
+// caller-provided done event at delivery time. The calling process blocks
+// only for the wire phase — partition outage, wire queueing, and
+// serialization; propagation (and any loss retransmits, which re-serialize
+// on the wire from inside the flight) happens in a detached flight process.
+// When SendTo returns, the frame is committed to the pipe: a partition cut
+// after that point no longer stops it (admission is cut, not the wire).
+// Delivery is in order per link — done never fires before the done of any
+// frame serialized earlier, however jitter or retransmission land.
+func (l *Link) SendTo(p *sim.Proc, size int, done *sim.Event) {
+	l.serialize(p, size)
+	prev := l.tail
+	l.tail = done
+	l.inFlight++
+	if l.inFlight > l.maxInFlight {
+		l.maxInFlight = l.inFlight
+	}
+	l.env.Process("netlink-flight", func(fp *sim.Proc) {
+		l.fly(fp, size, prev, done)
+	})
+}
+
+// fly is the flight phase of one asynchronous frame: propagation, loss
+// retries (each a fresh admission + serialization on the wire, so a
+// retransmit during a partition waits for heal like any new frame), then
+// in-order delivery chained behind the previously serialized frame.
+func (l *Link) fly(p *sim.Proc, size int, prev, done *sim.Event) {
+	l.propagate(p)
+	for l.lost() {
+		l.retransmit++
+		p.Sleep(l.cfg.RetransmitTimeout)
+		l.serialize(p, size)
+		l.propagate(p)
+	}
+	if prev != nil && !prev.Triggered() {
+		p.Wait(prev)
+	}
+	if p.Now() < l.lastDelivery {
+		l.violations++
+	}
+	l.lastDelivery = p.Now()
+	l.inFlight--
+	l.sentBytes += int64(size)
+	l.transfers++
+	p.Trigger(done)
 }
 
 // Partition severs the link: subsequent Transfer calls block until Heal.
@@ -144,6 +241,32 @@ func (l *Link) Transfers() int64 { return l.transfers }
 
 // Retransmits returns the number of loss-induced retries.
 func (l *Link) Retransmits() int64 { return l.retransmit }
+
+// InFlight returns the number of asynchronous frames currently serialized
+// but not yet delivered (the pipe fill).
+func (l *Link) InFlight() int { return l.inFlight }
+
+// MaxInFlight returns the peak pipe fill observed over the link's lifetime.
+func (l *Link) MaxInFlight() int { return l.maxInFlight }
+
+// LastDeliveryAt returns the per-link delivery watermark: the simulation
+// time of the most recent asynchronous delivery.
+func (l *Link) LastDeliveryAt() time.Duration { return l.lastDelivery }
+
+// OrderViolations returns how many asynchronous deliveries landed before
+// the link's watermark. The delivery chain makes this zero by construction;
+// it is exported so experiments prove in-order delivery instead of assuming
+// it.
+func (l *Link) OrderViolations() int64 { return l.violations }
+
+// SetFault installs a transient loss/jitter burst on the link — the chaos
+// sweep's linkloss fault. Zero values clear it. The change applies to draws
+// made after the call: frames already past their loss draw are unaffected,
+// frames still in flight retry under the new parameters.
+func (l *Link) SetFault(lossProb float64, jitter time.Duration) {
+	l.cfg.LossProb = lossProb
+	l.cfg.Jitter = jitter
+}
 
 // Utilization returns the fraction of elapsed time the wire was busy
 // serializing, in [0,1]. elapsed must be the simulation span of interest.

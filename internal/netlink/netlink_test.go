@@ -317,3 +317,202 @@ func TestDeterministicJitter(t *testing.T) {
 		t.Fatalf("jittered runs diverged: %v vs %v", a, b)
 	}
 }
+
+// --- Asynchronous (pipelined) send ---
+
+func TestSendBlocksOnlyForSerialization(t *testing.T) {
+	env := sim.NewEnv(1)
+	// 1s serialization, 10s propagation: a huge bandwidth-delay product.
+	l := New(env, Config{Propagation: 10 * time.Second, BandwidthBps: 1000})
+	var sendReturned, delivered time.Duration
+	env.Process("tx", func(p *sim.Proc) {
+		done := l.Send(p, 1000)
+		sendReturned = p.Now()
+		p.Wait(done)
+		delivered = p.Now()
+	})
+	env.Run(0)
+	if sendReturned != time.Second {
+		t.Fatalf("Send returned at %v, want 1s (serialization only)", sendReturned)
+	}
+	if delivered != 11*time.Second {
+		t.Fatalf("delivered at %v, want 11s", delivered)
+	}
+	if l.Transfers() != 1 || l.SentBytes() != 1000 {
+		t.Fatalf("stats: transfers=%d bytes=%d", l.Transfers(), l.SentBytes())
+	}
+	if l.InFlight() != 0 || l.MaxInFlight() != 1 {
+		t.Fatalf("inflight=%d max=%d, want 0/1", l.InFlight(), l.MaxInFlight())
+	}
+}
+
+func TestSendFillsThePipe(t *testing.T) {
+	env := sim.NewEnv(1)
+	// ser=1s, prop=10s: window w should deliver frame i at i*ser + prop.
+	l := New(env, Config{Propagation: 10 * time.Second, BandwidthBps: 1000})
+	const frames = 4
+	var deliveredAt []time.Duration
+	env.Process("tx", func(p *sim.Proc) {
+		var evs []*sim.Event
+		for i := 0; i < frames; i++ {
+			evs = append(evs, l.Send(p, 1000))
+		}
+		for _, ev := range evs {
+			p.Wait(ev)
+			deliveredAt = append(deliveredAt, p.Now())
+		}
+	})
+	env.Run(0)
+	if len(deliveredAt) != frames {
+		t.Fatalf("delivered %d frames, want %d", len(deliveredAt), frames)
+	}
+	for i, at := range deliveredAt {
+		want := time.Duration(i+1)*time.Second + 10*time.Second
+		if at != want {
+			t.Fatalf("frame %d delivered at %v, want %v (pipelined)", i, at, want)
+		}
+	}
+	if l.MaxInFlight() != frames {
+		t.Fatalf("max in flight %d, want %d", l.MaxInFlight(), frames)
+	}
+	if l.OrderViolations() != 0 {
+		t.Fatalf("order violations: %d", l.OrderViolations())
+	}
+}
+
+func TestSendDeliversInOrderUnderJitter(t *testing.T) {
+	// With jitter comparable to propagation, a later frame's raw arrival
+	// can easily precede an earlier frame's — the delivery chain must hold
+	// completions back so the receive stream stays in serialization order.
+	env := sim.NewEnv(7)
+	l := New(env, Config{Propagation: 5 * time.Millisecond, Jitter: 20 * time.Millisecond, BandwidthBps: 1e6})
+	const frames = 200
+	order := make([]int, 0, frames)
+	env.Process("tx", func(p *sim.Proc) {
+		for i := 0; i < frames; i++ {
+			i := i
+			ev := l.Send(p, 1000)
+			env.Process("watch", func(wp *sim.Proc) {
+				wp.Wait(ev)
+				order = append(order, i)
+			})
+		}
+	})
+	env.Run(0)
+	if len(order) != frames {
+		t.Fatalf("delivered %d frames, want %d", len(order), frames)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("delivery order[%d] = frame %d: reordered", i, got)
+		}
+	}
+	if l.OrderViolations() != 0 {
+		t.Fatalf("watermark violations: %d", l.OrderViolations())
+	}
+	if l.LastDeliveryAt() == 0 {
+		t.Fatalf("watermark never advanced")
+	}
+}
+
+func TestSendRetransmitsLossInsideFlight(t *testing.T) {
+	env := sim.NewEnv(3)
+	l := New(env, Config{Propagation: time.Millisecond, BandwidthBps: 1e6, LossProb: 0.5})
+	const frames = 50
+	delivered := 0
+	env.Process("tx", func(p *sim.Proc) {
+		var evs []*sim.Event
+		for i := 0; i < frames; i++ {
+			evs = append(evs, l.Send(p, 1000))
+		}
+		for _, ev := range evs {
+			p.Wait(ev)
+			delivered++
+		}
+	})
+	env.Run(0)
+	if delivered != frames {
+		t.Fatalf("delivered %d/%d frames under loss", delivered, frames)
+	}
+	if l.Retransmits() == 0 {
+		t.Fatalf("no retransmits at LossProb=0.5 over %d frames", frames)
+	}
+	if l.OrderViolations() != 0 {
+		t.Fatalf("order violations under loss: %d", l.OrderViolations())
+	}
+}
+
+func TestSendPartitionCutsAdmissionNotFlight(t *testing.T) {
+	env := sim.NewEnv(1)
+	l := New(env, Config{Propagation: 100 * time.Millisecond, BandwidthBps: 1e6})
+	var firstAt, secondAt time.Duration
+	env.Process("tx", func(p *sim.Proc) {
+		first := l.Send(p, 1000) // serialized at ~1ms, in flight until ~101ms
+		second := l.Send(p, 1000)
+		p.Wait(first)
+		firstAt = p.Now()
+		p.Wait(second)
+		secondAt = p.Now()
+	})
+	env.Process("cut", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond) // both frames serialized, both in flight
+		l.Partition()
+		p.Sleep(500 * time.Millisecond)
+		l.Heal()
+	})
+	env.Run(0)
+	if firstAt == 0 || secondAt == 0 {
+		t.Fatalf("in-flight frames did not deliver across the partition (first=%v second=%v)", firstAt, secondAt)
+	}
+	if firstAt > 200*time.Millisecond || secondAt > 200*time.Millisecond {
+		t.Fatalf("in-flight delivery waited for heal: first=%v second=%v", firstAt, secondAt)
+	}
+
+	// A frame sent while partitioned parks at admission until heal.
+	env2 := sim.NewEnv(1)
+	l2 := New(env2, Config{Propagation: time.Millisecond, BandwidthBps: 1e6})
+	l2.Partition()
+	var parkedAt time.Duration
+	env2.Process("tx", func(p *sim.Proc) {
+		ev := l2.Send(p, 1000)
+		p.Wait(ev)
+		parkedAt = p.Now()
+	})
+	env2.Process("heal", func(p *sim.Proc) {
+		p.Sleep(300 * time.Millisecond)
+		l2.Heal()
+	})
+	env2.Run(0)
+	if parkedAt < 300*time.Millisecond {
+		t.Fatalf("partitioned Send delivered at %v, before heal", parkedAt)
+	}
+}
+
+func TestSetFaultAppliesAndClears(t *testing.T) {
+	env := sim.NewEnv(5)
+	l := New(env, Config{Propagation: time.Millisecond, BandwidthBps: 1e6})
+	env.Process("tx", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			l.Transfer(p, 1000)
+		}
+		if l.Retransmits() != 0 {
+			t.Errorf("retransmits on a clean link: %d", l.Retransmits())
+		}
+		l.SetFault(0.8, 2*time.Millisecond)
+		for i := 0; i < 50; i++ {
+			l.Transfer(p, 1000)
+		}
+		if l.Retransmits() == 0 {
+			t.Errorf("no retransmits under SetFault(0.8, ...)")
+		}
+		mid := l.Retransmits()
+		l.SetFault(0, 0)
+		for i := 0; i < 50; i++ {
+			l.Transfer(p, 1000)
+		}
+		if l.Retransmits() != mid {
+			t.Errorf("retransmits after clearing fault: %d -> %d", mid, l.Retransmits())
+		}
+	})
+	env.Run(0)
+}
